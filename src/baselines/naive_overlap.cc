@@ -1,0 +1,65 @@
+#include "baselines/naive_overlap.hh"
+
+#include <algorithm>
+
+namespace flashmem::baselines {
+
+using core::OverlapPlan;
+using core::WeightSlicer;
+
+OverlapPlan
+alwaysNextPlan(const graph::Graph &g, Bytes chunk_bytes)
+{
+    OverlapPlan plan(g, chunk_bytes);
+    WeightSlicer slicer(chunk_bytes);
+    for (const auto &w : g.weights()) {
+        auto chunks = slicer.chunkCount(w);
+        if (w.consumer == 0) {
+            plan.setPreloadChunks(w.id, chunks);
+            continue;
+        }
+        // Just-in-time: the read starts only when the transforming
+        // layer itself begins, so compute stalls on every weight.
+        graph::NodeId prev = w.consumer - 1;
+        plan.setPreloadChunks(w.id, 0);
+        plan.addAssignment(w.id, prev, chunks);
+        plan.setEarliestLoad(w.id, prev);
+    }
+    plan.validate(g);
+    return plan;
+}
+
+OverlapPlan
+sameOpTypePlan(const graph::Graph &g, Bytes chunk_bytes,
+               int max_distance)
+{
+    OverlapPlan plan(g, chunk_bytes);
+    WeightSlicer slicer(chunk_bytes);
+    for (const auto &w : g.weights()) {
+        auto chunks = slicer.chunkCount(w);
+        auto kind = g.node(w.consumer).kind;
+        graph::NodeId found = graph::kInvalidNode;
+        graph::NodeId lo = std::max<graph::NodeId>(
+            0, w.consumer - max_distance);
+        for (graph::NodeId l = w.consumer - 1; l >= lo; --l) {
+            if (g.node(l).kind == kind) {
+                found = l;
+                break;
+            }
+        }
+        if (found == graph::kInvalidNode) {
+            plan.setPreloadChunks(w.id, chunks);
+            continue;
+        }
+        plan.setPreloadChunks(w.id, 0);
+        plan.addAssignment(w.id, found, chunks);
+        // One layer of lead: slightly better pipelining than
+        // Always-Next, still far from capacity-aware scheduling.
+        plan.setEarliestLoad(
+            w.id, std::max<graph::NodeId>(found - 1, 0));
+    }
+    plan.validate(g);
+    return plan;
+}
+
+} // namespace flashmem::baselines

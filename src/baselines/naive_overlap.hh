@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Naive overlap strategies (paper Section 5.4, Figure 9).
+ *
+ * Both generate OverlapPlans executable by the FlashMem streaming
+ * runtime, but ignore load capacities:
+ *
+ *  - Always-Next Loading: every weight is transformed entirely by the
+ *    layer directly before its consumer, so the GPU transform step lags
+ *    the disk and hierarchical layers absorb loads they cannot hide
+ *    (up to ~4.3x slower than FlashMem).
+ *
+ *  - Same-Op-Type Prefetching: weights are transformed by the nearest
+ *    preceding layer of the consumer's operator kind, which partially
+ *    respects capacity but leaves load badly imbalanced (~2.4x slower).
+ */
+
+#ifndef FLASHMEM_BASELINES_NAIVE_OVERLAP_HH
+#define FLASHMEM_BASELINES_NAIVE_OVERLAP_HH
+
+#include "core/overlap_plan.hh"
+#include "graph/graph.hh"
+
+namespace flashmem::baselines {
+
+/** Always-Next Loading plan: transform at consumer-1, load at -2. */
+core::OverlapPlan alwaysNextPlan(const graph::Graph &g,
+                                 Bytes chunk_bytes = mib(1));
+
+/**
+ * Same-Op-Type Prefetching plan: transform at the nearest preceding
+ * layer whose kind matches the consumer (searching up to
+ * @p max_distance layers back; preload when none exists).
+ */
+core::OverlapPlan sameOpTypePlan(const graph::Graph &g,
+                                 Bytes chunk_bytes = mib(1),
+                                 int max_distance = 24);
+
+} // namespace flashmem::baselines
+
+#endif // FLASHMEM_BASELINES_NAIVE_OVERLAP_HH

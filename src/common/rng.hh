@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component (profiling noise, workload generators,
+ * property tests) draws from an explicitly seeded Rng so that simulation
+ * results are bit-reproducible across runs and platforms.
+ */
+
+#ifndef FLASHMEM_COMMON_RNG_HH
+#define FLASHMEM_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace flashmem {
+
+/**
+ * xoshiro256** generator seeded through SplitMix64.
+ *
+ * Small, fast, and good enough statistically for simulation noise; we
+ * deliberately avoid std::mt19937 so streams are identical across
+ * standard-library implementations.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        if (hi <= lo)
+            return lo;
+        auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(next() % span);
+    }
+
+    /** Standard-normal draw (Marsaglia polar method). */
+    double
+    gaussian()
+    {
+        if (have_spare_) {
+            have_spare_ = false;
+            return spare_;
+        }
+        double u, v, s;
+        do {
+            u = uniform(-1.0, 1.0);
+            v = uniform(-1.0, 1.0);
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        double m = std::sqrt(-2.0 * std::log(s) / s);
+        spare_ = v * m;
+        have_spare_ = true;
+        return u * m;
+    }
+
+    /** Gaussian with explicit mean / stddev. */
+    double
+    gaussian(double mean, double stddev)
+    {
+        return mean + stddev * gaussian();
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+    bool have_spare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace flashmem
+
+#endif // FLASHMEM_COMMON_RNG_HH

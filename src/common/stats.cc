@@ -1,0 +1,135 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flashmem {
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    if (n_ == 1) {
+        mean_ = x;
+        min_ = x;
+        max_ = x;
+        m2_ = 0.0;
+        return;
+    }
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStat::variance() const
+{
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    double log_sum = 0.0;
+    std::size_t n = 0;
+    for (double v : values) {
+        if (v > 0.0) {
+            log_sum += std::log(v);
+            ++n;
+        }
+    }
+    return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
+}
+
+void
+TimeSeries::record(SimTime time, double value)
+{
+    if (!points_.empty()) {
+        FM_ASSERT(time >= points_.back().time,
+                  "TimeSeries samples must be time-ordered");
+        // Collapse same-timestamp updates: last write wins.
+        if (points_.back().time == time) {
+            points_.back().value = value;
+            return;
+        }
+        if (points_.back().value == value)
+            return;
+    }
+    points_.push_back({time, value});
+}
+
+double
+TimeSeries::peak() const
+{
+    double p = 0.0;
+    for (const auto &pt : points_)
+        p = std::max(p, pt.value);
+    return p;
+}
+
+double
+TimeSeries::maxOver(SimTime start, SimTime end) const
+{
+    double best = valueAt(start);
+    for (const auto &pt : points_) {
+        if (pt.time > start && pt.time <= end)
+            best = std::max(best, pt.value);
+    }
+    return best;
+}
+
+double
+TimeSeries::timeWeightedAverage(SimTime start, SimTime end) const
+{
+    if (points_.empty() || end <= start)
+        return 0.0;
+    double area = 0.0;
+    double current = 0.0;
+    SimTime cursor = start;
+    for (const auto &pt : points_) {
+        if (pt.time <= start) {
+            current = pt.value;
+            continue;
+        }
+        if (pt.time >= end)
+            break;
+        area += current * static_cast<double>(pt.time - cursor);
+        cursor = pt.time;
+        current = pt.value;
+    }
+    area += current * static_cast<double>(end - cursor);
+    return area / static_cast<double>(end - start);
+}
+
+double
+TimeSeries::timeWeightedAverage() const
+{
+    if (points_.size() < 2)
+        return points_.empty() ? 0.0 : points_.front().value;
+    return timeWeightedAverage(points_.front().time, points_.back().time);
+}
+
+double
+TimeSeries::valueAt(SimTime time) const
+{
+    double current = 0.0;
+    for (const auto &pt : points_) {
+        if (pt.time > time)
+            break;
+        current = pt.value;
+    }
+    return current;
+}
+
+} // namespace flashmem

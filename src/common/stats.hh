@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the simulator, profiler and
+ * benchmark reporting (mean/min/max/stddev, geometric mean, time-weighted
+ * averages for memory traces).
+ */
+
+#ifndef FLASHMEM_COMMON_STATS_HH
+#define FLASHMEM_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace flashmem {
+
+/** Streaming scalar accumulator (Welford). */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Geometric mean of strictly positive values; ignores non-positive. */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Step-function time series, e.g. bytes of live memory over simulated
+ * time. Samples must be appended in non-decreasing time order.
+ */
+class TimeSeries
+{
+  public:
+    struct Point
+    {
+        SimTime time;
+        double value;
+    };
+
+    /** Record that the series holds @p value from @p time onwards. */
+    void record(SimTime time, double value);
+
+    bool empty() const { return points_.empty(); }
+    const std::vector<Point> &points() const { return points_; }
+
+    /** Largest recorded value. */
+    double peak() const;
+
+    /** Largest value in effect anywhere inside [start, end]. */
+    double maxOver(SimTime start, SimTime end) const;
+
+    /**
+     * Time-weighted average over [start, end]; the series is treated as a
+     * right-continuous step function.
+     */
+    double timeWeightedAverage(SimTime start, SimTime end) const;
+
+    /** Convenience: average over the whole recorded span. */
+    double timeWeightedAverage() const;
+
+    /** Value in effect at @p time (0 before the first sample). */
+    double valueAt(SimTime time) const;
+
+  private:
+    std::vector<Point> points_;
+};
+
+} // namespace flashmem
+
+#endif // FLASHMEM_COMMON_STATS_HH

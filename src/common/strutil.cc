@@ -1,0 +1,65 @@
+#include "common/strutil.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace flashmem {
+
+std::string
+formatDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+formatWithCommas(long long v)
+{
+    std::string digits = std::to_string(v < 0 ? -v : v);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.insert(out.begin(), ',');
+        out.insert(out.begin(), *it);
+        ++count;
+    }
+    if (v < 0)
+        out.insert(out.begin(), '-');
+    return out;
+}
+
+std::string
+formatBytes(Bytes b)
+{
+    const double kb = 1024.0;
+    auto v = static_cast<double>(b);
+    if (v >= kb * kb * kb)
+        return formatDouble(v / (kb * kb * kb), 2) + " GB";
+    if (v >= kb * kb)
+        return formatDouble(v / (kb * kb), 1) + " MB";
+    if (v >= kb)
+        return formatDouble(v / kb, 1) + " KB";
+    return std::to_string(b) + " B";
+}
+
+std::string
+formatMs(SimTime t)
+{
+    double ms = toMilliseconds(t);
+    if (ms >= 100.0)
+        return formatWithCommas(static_cast<long long>(std::llround(ms))) +
+               " ms";
+    if (ms >= 1.0)
+        return formatDouble(ms, 1) + " ms";
+    return formatDouble(toMicroseconds(t), 1) + " us";
+}
+
+std::string
+formatRatio(double r, int decimals)
+{
+    return formatDouble(r, decimals) + "x";
+}
+
+} // namespace flashmem

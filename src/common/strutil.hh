@@ -1,0 +1,32 @@
+/**
+ * @file
+ * String-formatting helpers for reports and logs.
+ */
+
+#ifndef FLASHMEM_COMMON_STRUTIL_HH
+#define FLASHMEM_COMMON_STRUTIL_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace flashmem {
+
+/** Fixed-point formatting with @p decimals digits after the point. */
+std::string formatDouble(double v, int decimals = 2);
+
+/** "1,234" style thousands separators for integer magnitudes. */
+std::string formatWithCommas(long long v);
+
+/** Human-readable byte count, e.g. "1.50 GB". */
+std::string formatBytes(Bytes b);
+
+/** Milliseconds with adaptive precision, e.g. "3,212 ms". */
+std::string formatMs(SimTime t);
+
+/** Speedup/reduction factor, e.g. "8.4x". */
+std::string formatRatio(double r, int decimals = 1);
+
+} // namespace flashmem
+
+#endif // FLASHMEM_COMMON_STRUTIL_HH

@@ -1,0 +1,78 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace flashmem {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back({std::move(cells), false});
+}
+
+void
+Table::addRule()
+{
+    rows_.push_back({{}, true});
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        if (row.rule)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    auto print_rule = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << '+' << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << "| " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+
+    print_rule();
+    print_cells(headers_);
+    print_rule();
+    for (const auto &row : rows_) {
+        if (row.rule)
+            print_rule();
+        else
+            print_cells(row.cells);
+    }
+    print_rule();
+}
+
+std::string
+Table::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+void
+printHeading(std::ostream &os, const std::string &title)
+{
+    os << "\n=== " << title << " ===\n";
+}
+
+} // namespace flashmem

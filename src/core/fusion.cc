@@ -1,0 +1,270 @@
+#include "core/fusion.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace flashmem::core {
+
+using graph::Graph;
+using graph::Node;
+using graph::NodeId;
+using graph::OpClass;
+using graph::OpKind;
+
+FusionPass::FusionPass(const Graph &original, FusionParams params)
+    : original_(original), params_(params)
+{
+    FM_ASSERT(params_.maxGroupSize >= 1, "bad maxGroupSize");
+}
+
+graph::OpKind
+FusionPass::restrictiveKind(const std::vector<OpKind> &kinds)
+{
+    // Restrictiveness order for the fused kernel's load capacity:
+    // hierarchical (0%) dominates, then movement, elemental, reusable.
+    auto rank = [](OpKind k) {
+        switch (graph::opClass(k)) {
+          case OpClass::Hierarchical:
+            return 0;
+          case OpClass::Movement:
+            return 1;
+          case OpClass::Elemental:
+            return 2;
+          case OpClass::Reusable:
+            return 3;
+        }
+        return 3;
+    };
+    OpKind best = kinds.front();
+    for (auto k : kinds) {
+        if (rank(k) < rank(best))
+            best = k;
+    }
+    return best;
+}
+
+std::vector<FusionGroup>
+FusionPass::singletonPartition() const
+{
+    std::vector<FusionGroup> out;
+    out.reserve(original_.layerCount());
+    for (const auto &n : original_.nodes())
+        out.push_back({{n.id}});
+    return out;
+}
+
+std::vector<FusionGroup>
+FusionPass::initialPartition() const
+{
+    // consumer counts to identify single-consumer chain links.
+    std::vector<int> consumers(original_.layerCount(), 0);
+    for (const auto &n : original_.nodes()) {
+        for (auto in : n.inputs)
+            ++consumers[in];
+    }
+
+    std::vector<FusionGroup> groups;
+    std::vector<int> group_of(original_.layerCount(), -1);
+
+    for (const auto &n : original_.nodes()) {
+        bool chained = false;
+        // Chain onto the producer's group when this node is that
+        // producer's only consumer and the producer is the group tail.
+        if (n.inputs.size() >= 1) {
+            NodeId main_in = n.inputs.front();
+            int gid = group_of[main_in];
+            if (gid >= 0 && consumers[main_in] == 1 &&
+                groups[gid].members.back() == main_in &&
+                groups[gid].members.size() <
+                    static_cast<std::size_t>(params_.maxGroupSize)) {
+                // Other inputs must come from outside the group, which
+                // holds by topological construction.
+                groups[gid].members.push_back(n.id);
+                group_of[n.id] = gid;
+                chained = true;
+            }
+        }
+        if (!chained) {
+            group_of[n.id] = static_cast<int>(groups.size());
+            groups.push_back({{n.id}});
+        }
+    }
+    return groups;
+}
+
+gpusim::KernelSpec
+FusionPass::specForGroup(const FusionGroup &group) const
+{
+    FM_ASSERT(!group.members.empty(), "empty fusion group");
+    gpusim::KernelSpec spec;
+    spec.precision = original_.precision();
+    spec.usesTexture = true;
+
+    std::vector<OpKind> kinds;
+    std::uint64_t macs = 0;
+    Bytes weight_bytes = 0;
+    Bytes external_in = 0;
+
+    for (std::size_t i = 0; i < group.members.size(); ++i) {
+        const auto &n = original_.node(group.members[i]);
+        kinds.insert(kinds.end(), n.fusedKinds.begin(),
+                     n.fusedKinds.end());
+        macs += n.macs;
+        for (auto wid : n.weights)
+            weight_bytes += original_.weight(wid).bytes();
+        for (auto in : n.inputs) {
+            bool internal =
+                i > 0 && in == group.members[i - 1];
+            if (!internal)
+                external_in += original_.node(in).output.bytes();
+        }
+    }
+
+    const auto &last = original_.node(group.members.back());
+    spec.kind = restrictiveKind(kinds);
+    spec.macs = macs;
+    spec.inputBytes = external_in;
+    spec.outputBytes = last.output.bytes();
+    spec.weightBytes = weight_bytes;
+    std::int64_t out_elems = last.output.shape.elements();
+    spec.gwsX = std::max<std::int64_t>(out_elems / 64, 1);
+    spec.gwsY = 64;
+    return spec;
+}
+
+Graph
+FusionPass::materialize(const std::vector<FusionGroup> &partition,
+                        std::vector<NodeId> *fused_id_of_group_out) const
+{
+    // Validate coverage and compute a topological group order (groups
+    // sorted by last member id; see chain argument in the fusion docs).
+    std::vector<int> group_of(original_.layerCount(), -1);
+    for (std::size_t gid = 0; gid < partition.size(); ++gid) {
+        FM_ASSERT(!partition[gid].members.empty(), "empty fusion group");
+        for (auto m : partition[gid].members) {
+            FM_ASSERT(group_of[m] == -1, "node ", m,
+                      " in two fusion groups");
+            group_of[m] = static_cast<int>(gid);
+        }
+    }
+    for (int g : group_of)
+        FM_ASSERT(g >= 0, "fusion partition does not cover the graph");
+
+    std::vector<std::size_t> order(partition.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return partition[a].members.back() <
+                         partition[b].members.back();
+              });
+
+    Graph fused(original_.name(), original_.precision());
+    std::vector<NodeId> fused_id_of_group(partition.size(), -1);
+
+    for (auto gid : order) {
+        const auto &group = partition[gid];
+        Node node;
+        const auto &first = original_.node(group.members.front());
+        const auto &last = original_.node(group.members.back());
+        node.name = group.members.size() == 1
+                        ? first.name
+                        : first.name + "+" +
+                              std::to_string(group.members.size() - 1);
+        node.output = last.output;
+
+        std::vector<OpKind> kinds;
+        for (std::size_t i = 0; i < group.members.size(); ++i) {
+            const auto &n = original_.node(group.members[i]);
+            kinds.insert(kinds.end(), n.fusedKinds.begin(),
+                         n.fusedKinds.end());
+            node.macs += n.macs;
+            for (auto in : n.inputs) {
+                bool internal = i > 0 && in == group.members[i - 1];
+                if (internal)
+                    continue;
+                NodeId mapped = fused_id_of_group[group_of[in]];
+                FM_ASSERT(mapped >= 0, "fusion order violation at '",
+                          n.name, "'");
+                if (std::find(node.inputs.begin(), node.inputs.end(),
+                              mapped) == node.inputs.end())
+                    node.inputs.push_back(mapped);
+            }
+        }
+        node.kind = restrictiveKind(kinds);
+        node.fusedKinds = std::move(kinds);
+
+        NodeId fid = fused.addNode(std::move(node));
+        fused_id_of_group[gid] = fid;
+        // Re-attach weights in member order.
+        for (auto m : group.members) {
+            for (auto wid : original_.node(m).weights) {
+                const auto &w = original_.weight(wid);
+                fused.attachWeight(fid, w.desc, w.name);
+            }
+        }
+    }
+    fused.validate();
+    if (fused_id_of_group_out)
+        *fused_id_of_group_out = fused_id_of_group;
+    return fused;
+}
+
+bool
+FusionPass::splitGroup(const FusionGroup &group, FusionGroup *head,
+                       FusionGroup *tail) const
+{
+    if (group.members.size() < 2)
+        return false;
+    // Hierarchical fusions: retain intact (paper rule 2).
+    for (auto m : group.members) {
+        if (graph::opClass(original_.node(m).kind) ==
+            OpClass::Hierarchical)
+            return false;
+    }
+    // Rule 1: peel the trailing elemental/movement run off the
+    // reusable body (MatMul+Add+GeLU -> MatMul+Add | GeLU).
+    std::size_t boundary = group.members.size();
+    while (boundary > 0) {
+        auto cls = graph::opClass(
+            original_.node(group.members[boundary - 1]).kind);
+        if (cls == OpClass::Elemental || cls == OpClass::Movement)
+            --boundary;
+        else
+            break;
+    }
+    if (boundary == 0 || boundary == group.members.size()) {
+        // Uniform chain: generic midpoint split restores slots.
+        boundary = group.members.size() / 2;
+    }
+    head->members.assign(group.members.begin(),
+                         group.members.begin() + boundary);
+    tail->members.assign(group.members.begin() + boundary,
+                         group.members.end());
+    return !head->members.empty() && !tail->members.empty();
+}
+
+bool
+FusionPass::splitFeasible(const FusionGroup &group,
+                          const FusionGroup &head,
+                          const FusionGroup &tail,
+                          const profiler::CapacityProvider &capacity,
+                          Bytes chunk_bytes) const
+{
+    auto fused_spec = specForGroup(group);
+    auto head_spec = specForGroup(head);
+    auto tail_spec = specForGroup(tail);
+    fused_spec.pipelined = true;
+    head_spec.pipelined = true;
+    tail_spec.pipelined = true;
+
+    auto c_fused = capacity.capacityChunks(fused_spec, chunk_bytes);
+    auto c_head = capacity.capacityChunks(head_spec, chunk_bytes);
+    auto c_tail = capacity.capacityChunks(tail_spec, chunk_bytes);
+    return static_cast<double>(c_head + c_tail) >=
+           (1.0 + params_.alpha) * static_cast<double>(c_fused);
+}
+
+} // namespace flashmem::core

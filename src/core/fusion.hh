@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Operator fusion with OPG-aware adaptive splitting (paper Section 4.3).
+ *
+ * Fusion reduces kernel launches and intermediate memory, but fusing k
+ * operators collapses k scheduling slots into one and shrinks the
+ * combined load capacity to ~min(C_1..C_k). The adaptive protocol
+ * therefore: (1) fuses single-consumer chains aggressively, (2) scores
+ * fused kernels by the preload pressure they cause
+ * (Penalty = lambda |W_new| + mu dz), and (3) splits the worst
+ * offenders when the split's capacity gain passes the
+ * C_v1 + C_v2 >= (1 + alpha) C_v feasibility check — except
+ * hierarchical fusions, which are retained intact.
+ */
+
+#ifndef FLASHMEM_CORE_FUSION_HH
+#define FLASHMEM_CORE_FUSION_HH
+
+#include <vector>
+
+#include "gpusim/kernel.hh"
+#include "graph/graph.hh"
+#include "profiler/capacity.hh"
+
+namespace flashmem::core {
+
+/** Fusion tunables. */
+struct FusionParams
+{
+    /** Longest producer-consumer chain fused into one kernel. */
+    int maxGroupSize = 4;
+    /** Capacity-gain threshold alpha for split feasibility. */
+    double alpha = 0.15;
+    /** Fused kernels re-examined per adaptive round. */
+    int splitTopK = 8;
+};
+
+/** One fused kernel: a producer-consumer chain of original nodes. */
+struct FusionGroup
+{
+    std::vector<graph::NodeId> members; ///< original ids, in chain order
+};
+
+/** Fusion pass over one original (unfused) graph. */
+class FusionPass
+{
+  public:
+    FusionPass(const graph::Graph &original, FusionParams params = {});
+
+    /**
+     * Aggressive initial fusion: grow single-consumer chains up to
+     * maxGroupSize, the behaviour of DNNFusion-style frameworks.
+     */
+    std::vector<FusionGroup> initialPartition() const;
+
+    /** Trivial partition: every node its own group (fusion disabled). */
+    std::vector<FusionGroup> singletonPartition() const;
+
+    /**
+     * Build the fused graph realizing @p partition. Groups are emitted
+     * in topological (last-member) order; when @p fused_id_of_group is
+     * non-null it receives the partition-index -> fused-NodeId map.
+     */
+    graph::Graph materialize(
+        const std::vector<FusionGroup> &partition,
+        std::vector<graph::NodeId> *fused_id_of_group = nullptr) const;
+
+    /** Dispatch descriptor of a (hypothetical) fused chain. */
+    gpusim::KernelSpec specForGroup(const FusionGroup &group) const;
+
+    /**
+     * Propose splitting @p group by the operator-specific rules:
+     * hierarchical fusions are retained (returns false); otherwise the
+     * trailing elemental run splits off (MatMul+Add+GeLU ->
+     * MatMul+Add | GeLU), falling back to a midpoint split.
+     */
+    bool splitGroup(const FusionGroup &group, FusionGroup *head,
+                    FusionGroup *tail) const;
+
+    /**
+     * Check C_v1 + C_v2 >= (1 + alpha) * C_v using @p capacity.
+     * @return true if splitting gains enough schedulable capacity.
+     */
+    bool splitFeasible(const FusionGroup &group,
+                       const FusionGroup &head, const FusionGroup &tail,
+                       const profiler::CapacityProvider &capacity,
+                       Bytes chunk_bytes) const;
+
+    const graph::Graph &original() const { return original_; }
+    const FusionParams &params() const { return params_; }
+
+    /** The capacity-restrictive operator kind of a fused chain. */
+    static graph::OpKind restrictiveKind(
+        const std::vector<graph::OpKind> &kinds);
+
+  private:
+    const graph::Graph &original_;
+    FusionParams params_;
+};
+
+} // namespace flashmem::core
+
+#endif // FLASHMEM_CORE_FUSION_HH

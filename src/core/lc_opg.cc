@@ -1,0 +1,445 @@
+#include "core/lc_opg.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.hh"
+#include "solver/model.hh"
+
+namespace flashmem::core {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Objective scaling: lambda/mu mapped onto integer coefficients. */
+constexpr std::int64_t kObjScale = 100;
+
+} // namespace
+
+LcOpgPlanner::LcOpgPlanner(const graph::Graph &g,
+                           const profiler::CapacityProvider &capacity,
+                           const gpusim::KernelModel &kernel_model,
+                           OpgParams params)
+    : g_(g), capacity_(capacity), kernel_model_(kernel_model),
+      params_(params), slicer_(params.chunkBytes)
+{
+    FM_ASSERT(params_.windowLayers > 0 && params_.maxLoadDistance > 0,
+              "bad OPG window parameters");
+}
+
+void
+LcOpgPlanner::processNodes()
+{
+    const auto layers = static_cast<graph::NodeId>(g_.layerCount());
+    specs_.reserve(layers);
+    capacity_chunks_.assign(layers, 0);
+    for (graph::NodeId l = 0; l < layers; ++l) {
+        auto spec = gpusim::kernelSpecFor(g_, l, true);
+        spec.pipelined = true;
+        capacity_chunks_[l] =
+            capacity_.capacityChunks(spec, params_.chunkBytes);
+        specs_.push_back(std::move(spec));
+    }
+    chunk_count_.resize(g_.weightCount());
+    for (std::size_t w = 0; w < g_.weightCount(); ++w)
+        chunk_count_[w] = slicer_.chunkCount(g_.weight(
+            static_cast<graph::WeightId>(w)));
+    residual_capacity_ = capacity_chunks_;
+    inflight_used_.assign(layers, 0);
+
+    // Explicit preload list: pin weights (consumer order) into W until
+    // the requested fraction of bytes is covered.
+    pinned_preload_.assign(g_.weightCount(), false);
+    if (params_.minPreloadFraction > 0.0) {
+        auto target = static_cast<Bytes>(
+            params_.minPreloadFraction *
+            static_cast<double>(g_.totalWeightBytes()));
+        std::vector<graph::WeightId> order;
+        for (const auto &w : g_.weights())
+            order.push_back(w.id);
+        std::sort(order.begin(), order.end(),
+                  [&](graph::WeightId a, graph::WeightId b) {
+                      return g_.weight(a).consumer <
+                             g_.weight(b).consumer;
+                  });
+        Bytes covered = 0;
+        for (auto wid : order) {
+            if (covered >= target)
+                break;
+            pinned_preload_[wid] = true;
+            covered += g_.weight(wid).bytes();
+        }
+    }
+}
+
+LcOpgPlanner::GreedyOut
+LcOpgPlanner::greedyAssign(
+    const std::vector<graph::WeightId> &weights,
+    const std::vector<std::int64_t> &residual_capacity,
+    const std::vector<std::int64_t> &inflight_used) const
+{
+    const std::int64_t mpeak_chunks = static_cast<std::int64_t>(
+        params_.mPeak / params_.chunkBytes);
+    auto residual = residual_capacity;
+    auto inflight = inflight_used;
+
+    GreedyOut out;
+    out.assignments.resize(weights.size());
+    out.preload.assign(weights.size(), 0);
+
+    for (std::size_t k = 0; k < weights.size(); ++k) {
+        const auto &w = g_.weight(weights[k]);
+        std::int64_t remaining = chunk_count_[weights[k]];
+        graph::NodeId lo = std::max<graph::NodeId>(
+            0, w.consumer - params_.maxLoadDistance);
+        // Latest-feasible placement: walk back from the consumer so
+        // chunks arrive as close to their use as capacity allows.
+        for (graph::NodeId l = w.consumer - 1; l >= lo && remaining > 0;
+             --l) {
+            if (l < 0)
+                break;
+            std::int64_t take =
+                std::min(remaining, residual[l]);
+            // In-flight headroom over [l, consumer).
+            for (graph::NodeId p = l; p < w.consumer && take > 0; ++p)
+                take = std::min(take, mpeak_chunks - inflight[p]);
+            if (take <= 0)
+                continue;
+            residual[l] -= take;
+            for (graph::NodeId p = l; p < w.consumer; ++p)
+                inflight[p] += take;
+            out.assignments[k].push_back({l, take});
+            remaining -= take;
+        }
+        out.preload[k] = remaining;
+    }
+    return out;
+}
+
+LcOpgPlanner::WindowResult
+LcOpgPlanner::planWindow(graph::NodeId start, graph::NodeId end,
+                         OverlapPlan &plan)
+{
+    WindowResult result;
+    const std::int64_t mpeak_chunks = static_cast<std::int64_t>(
+        params_.mPeak / params_.chunkBytes);
+
+    // Weights consumed inside this window, in consumer order (pinned
+    // preload-list weights are handled by plan() directly).
+    std::vector<graph::WeightId> weights;
+    for (const auto &w : g_.weights()) {
+        if (w.consumer >= start && w.consumer < end &&
+            !pinned_preload_[w.id])
+            weights.push_back(w.id);
+    }
+    if (weights.empty())
+        return result;
+    std::sort(weights.begin(), weights.end(),
+              [&](graph::WeightId a, graph::WeightId b) {
+                  return g_.weight(a).consumer < g_.weight(b).consumer;
+              });
+
+    // Candidate transform layers per weight (earlier windows allowed
+    // through their residual capacity).
+    std::vector<std::vector<graph::NodeId>> cands(weights.size());
+    graph::NodeId min_cand = end;
+    for (std::size_t k = 0; k < weights.size(); ++k) {
+        const auto &w = g_.weight(weights[k]);
+        graph::NodeId lo = std::max<graph::NodeId>(
+            0, w.consumer - params_.maxLoadDistance);
+        for (graph::NodeId l = lo; l < w.consumer; ++l) {
+            if (residual_capacity_[l] > 0) {
+                cands[k].push_back(l);
+                min_cand = std::min(min_cand, l);
+            }
+        }
+    }
+
+    auto greedy = greedyAssign(weights, residual_capacity_,
+                               inflight_used_);
+
+    // Tier-3 guard: windows whose CP model would be degenerate or too
+    // large run on the greedy backup directly.
+    std::size_t var_estimate = 0;
+    for (const auto &c : cands)
+        var_estimate += c.size() + 2;
+    bool use_greedy = var_estimate > 2000;
+
+    // Solver attempt with C4 fallback tiers.
+    std::vector<std::int64_t> extracted_preload;
+    std::vector<std::vector<std::pair<graph::NodeId, std::int64_t>>>
+        extracted_assign;
+    std::vector<graph::NodeId> extracted_z(weights.size(),
+                                           graph::kInvalidNode);
+
+    if (!use_greedy) {
+        double relax = 1.0;
+        std::vector<bool> forced(weights.size(), false);
+        for (int round = 0; round <= params_.maxFallbackRounds;
+             ++round) {
+            auto build_t0 = std::chrono::steady_clock::now();
+            solver::CpModel m;
+            std::vector<solver::VarId> y_vars(weights.size());
+            std::vector<solver::VarId> z_vars(weights.size(), -1);
+            std::vector<std::vector<solver::VarId>> x_vars(
+                weights.size());
+            std::vector<std::int64_t> hint;
+
+            std::vector<solver::LinearTerm> objective;
+            for (std::size_t k = 0; k < weights.size(); ++k) {
+                const auto &w = g_.weight(weights[k]);
+                std::int64_t t_w = chunk_count_[weights[k]];
+                std::int64_t y_lo = forced[k] ? t_w : 0;
+                y_vars[k] = m.newIntVar(y_lo, t_w, w.name + ".preload");
+                hint.push_back(forced[k] ? t_w : greedy.preload[k]);
+                // lambda-weighted preload cost.
+                objective.push_back(
+                    {y_vars[k], static_cast<std::int64_t>(
+                                    params_.lambda * kObjScale)});
+
+                std::vector<solver::LinearTerm> coverage{{y_vars[k], 1}};
+                for (auto l : cands[k]) {
+                    std::int64_t cap = std::min<std::int64_t>(
+                        {t_w,
+                         static_cast<std::int64_t>(
+                             static_cast<double>(residual_capacity_[l]) *
+                             relax),
+                         mpeak_chunks});
+                    auto x = m.newIntVar(0, std::max<std::int64_t>(cap,
+                                                                   0));
+                    x_vars[k].push_back(x);
+                    coverage.push_back({x, 1});
+                    // Tie-break: transform close to the consumer.
+                    objective.push_back({x, w.consumer - l - 1});
+                    std::int64_t hint_x = 0;
+                    if (!forced[k]) {
+                        for (auto &[gl, gc] : greedy.assignments[k]) {
+                            if (gl == l)
+                                hint_x = gc;
+                        }
+                    }
+                    hint.push_back(hint_x);
+                }
+                // C0: completeness of allocation.
+                m.addEquality(coverage, t_w);
+
+                // z_w and C1 implications (streamed weights only).
+                if (!cands[k].empty()) {
+                    graph::NodeId z_lo = std::max<graph::NodeId>(
+                        0, w.consumer - params_.maxLoadDistance);
+                    z_vars[k] =
+                        m.newIntVar(z_lo, w.consumer, w.name + ".z");
+                    // mu-weighted loading distance i_w - z_w.
+                    objective.push_back(
+                        {z_vars[k], -static_cast<std::int64_t>(
+                                        params_.mu * kObjScale)});
+                    for (std::size_t j = 0; j < cands[k].size(); ++j) {
+                        m.addImplicationGeLe(x_vars[k][j], 1, z_vars[k],
+                                             cands[k][j]);
+                    }
+                    graph::NodeId hint_z = w.consumer;
+                    if (!forced[k] && !greedy.assignments[k].empty()) {
+                        for (auto &[gl, gc] : greedy.assignments[k])
+                            hint_z = std::min(hint_z, gl);
+                    }
+                    hint.push_back(hint_z);
+                }
+            }
+
+            // C3: per-layer load capacity.
+            for (graph::NodeId l = min_cand; l < end && min_cand < end;
+                 ++l) {
+                std::vector<solver::LinearTerm> col;
+                for (std::size_t k = 0; k < weights.size(); ++k) {
+                    for (std::size_t j = 0; j < cands[k].size(); ++j) {
+                        if (cands[k][j] == l)
+                            col.push_back({x_vars[k][j], 1});
+                    }
+                }
+                if (!col.empty()) {
+                    m.addLessOrEqual(
+                        col, static_cast<std::int64_t>(
+                                 static_cast<double>(
+                                     residual_capacity_[l]) *
+                                 relax));
+                }
+            }
+
+            // C2: in-flight transformed-but-unconsumed memory.
+            for (graph::NodeId p = min_cand; p < end && min_cand < end;
+                 ++p) {
+                std::vector<solver::LinearTerm> inflight;
+                for (std::size_t k = 0; k < weights.size(); ++k) {
+                    if (g_.weight(weights[k]).consumer <= p)
+                        continue;
+                    for (std::size_t j = 0; j < cands[k].size(); ++j) {
+                        if (cands[k][j] <= p)
+                            inflight.push_back({x_vars[k][j], 1});
+                    }
+                }
+                if (!inflight.empty()) {
+                    m.addLessOrEqual(inflight, std::max<std::int64_t>(
+                                                   mpeak_chunks -
+                                                       inflight_used_[p],
+                                                   0));
+                }
+            }
+
+            m.minimize(objective);
+            result.buildSeconds += secondsSince(build_t0);
+
+            solver::SolverParams sp;
+            sp.timeLimitSeconds = params_.solverTimePerWindow;
+            sp.maxDecisions = params_.solverDecisionsPerWindow;
+            auto r = solver::CpSolver(sp).solve(m, &hint);
+            result.solveSeconds += r.wallSeconds;
+            result.decisions += r.decisions;
+            result.status = r.status;
+
+            if (!r.feasible()) {
+                // Tier 1: soft-threshold relaxation of C_l.
+                if (round < params_.maxFallbackRounds) {
+                    relax *= params_.softThresholdGrowth;
+                    ++result.softRelaxations;
+                    continue;
+                }
+                use_greedy = true;
+                break;
+            }
+
+            // Extract candidate solution.
+            extracted_preload.assign(weights.size(), 0);
+            extracted_assign.assign(weights.size(), {});
+            Bytes window_bytes = 0, preload_bytes = 0;
+            for (std::size_t k = 0; k < weights.size(); ++k) {
+                extracted_preload[k] = r.value(y_vars[k]);
+                window_bytes += g_.weight(weights[k]).bytes();
+                preload_bytes += slicer_.bytesForChunks(
+                    g_.weight(weights[k]), extracted_preload[k]);
+                for (std::size_t j = 0; j < cands[k].size(); ++j) {
+                    auto v = r.value(x_vars[k][j]);
+                    if (v > 0)
+                        extracted_assign[k].push_back({cands[k][j], v});
+                }
+                if (z_vars[k] >= 0 && !extracted_assign[k].empty())
+                    extracted_z[k] = static_cast<graph::NodeId>(
+                        r.value(z_vars[k]));
+            }
+
+            // Tier 2: if capacity pressure forced most of the window
+            // into W, pin the heaviest offender and re-solve so the
+            // solver redistributes the rest.
+            double preload_frac =
+                window_bytes
+                    ? static_cast<double>(preload_bytes) / window_bytes
+                    : 0.0;
+            if (preload_frac > 0.8 && round < params_.maxFallbackRounds) {
+                std::size_t worst = 0;
+                std::int64_t worst_chunks = -1;
+                for (std::size_t k = 0; k < weights.size(); ++k) {
+                    if (!forced[k] &&
+                        extracted_preload[k] > worst_chunks) {
+                        worst_chunks = extracted_preload[k];
+                        worst = k;
+                    }
+                }
+                if (worst_chunks > 0) {
+                    forced[worst] = true;
+                    ++result.forcedPreloads;
+                    continue;
+                }
+            }
+            break;
+        }
+    }
+
+    if (use_greedy) {
+        result.usedGreedy = true;
+        extracted_preload = greedy.preload;
+        extracted_assign = greedy.assignments;
+        for (std::size_t k = 0; k < weights.size(); ++k) {
+            graph::NodeId z = g_.weight(weights[k]).consumer;
+            for (auto &[l, c] : extracted_assign[k])
+                z = std::min(z, l);
+            extracted_z[k] = extracted_assign[k].empty()
+                                 ? graph::kInvalidNode
+                                 : z;
+        }
+        result.status = solver::SolveStatus::Feasible;
+    }
+
+    // Commit into the plan and the cross-window bookkeeping.
+    for (std::size_t k = 0; k < weights.size(); ++k) {
+        auto wid = weights[k];
+        const auto &w = g_.weight(wid);
+        plan.setPreloadChunks(wid, extracted_preload[k]);
+        for (auto &[l, c] : extracted_assign[k]) {
+            plan.addAssignment(wid, l, c);
+            residual_capacity_[l] -= c;
+            FM_ASSERT(residual_capacity_[l] >= -1,
+                      "capacity overdraft at layer ", l);
+            residual_capacity_[l] =
+                std::max<std::int64_t>(residual_capacity_[l], 0);
+            for (graph::NodeId p = l; p < w.consumer; ++p)
+                inflight_used_[p] += c;
+        }
+        if (!extracted_assign[k].empty())
+            plan.setEarliestLoad(wid, extracted_z[k]);
+    }
+    return result;
+}
+
+OverlapPlan
+LcOpgPlanner::plan(PlanStats *stats)
+{
+    PlanStats local;
+    auto t0 = std::chrono::steady_clock::now();
+    processNodes();
+    local.processNodesSeconds = secondsSince(t0);
+
+    OverlapPlan plan(g_, params_.chunkBytes);
+    for (std::size_t w = 0; w < g_.weightCount(); ++w) {
+        if (pinned_preload_[w]) {
+            plan.setPreloadChunks(static_cast<graph::WeightId>(w),
+                                  chunk_count_[w]);
+        }
+    }
+    const auto layers = static_cast<graph::NodeId>(g_.layerCount());
+    for (graph::NodeId start = 0; start < layers;
+         start += params_.windowLayers) {
+        graph::NodeId end =
+            std::min<graph::NodeId>(start + params_.windowLayers,
+                                    layers);
+        auto wr = planWindow(start, end, plan);
+        ++local.windows;
+        local.buildModelSeconds += wr.buildSeconds;
+        local.solveSeconds += wr.solveSeconds;
+        local.solverDecisions += wr.decisions;
+        local.softRelaxations += wr.softRelaxations;
+        local.forcedPreloads += wr.forcedPreloads;
+        if (wr.usedGreedy) {
+            ++local.greedyWindows;
+        } else if (wr.status == solver::SolveStatus::Optimal) {
+            ++local.optimalWindows;
+        } else {
+            ++local.feasibleWindows;
+        }
+    }
+    local.overallStatus = (local.feasibleWindows + local.greedyWindows)
+                              ? solver::SolveStatus::Feasible
+                              : solver::SolveStatus::Optimal;
+
+    plan.validate(g_);
+    if (stats)
+        *stats = local;
+    return plan;
+}
+
+} // namespace flashmem::core

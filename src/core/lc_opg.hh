@@ -1,0 +1,164 @@
+/**
+ * @file
+ * LC-OPG: the Load-Capacity-aware Overlap Plan Generation solver
+ * (paper Section 3).
+ *
+ * The OPG problem decides, for every weight w:
+ *   - how many chunks join the preload set W (loaded at init),
+ *   - which earlier layers transform the remaining chunks inline
+ *     (x_{w,l}, constraints C0-C3),
+ *   - the earliest disk-load layer z_w (constraint C1),
+ * minimizing lambda * |W| + (1 - lambda) * sum(loading distances) while
+ * per-layer load capacities C_l and the in-flight memory bound M_peak
+ * hold (C2, C3).
+ *
+ * The planner follows the paper's implementation notes: incremental
+ * scheduling over a rolling layer window keeps each CP-SAT instance
+ * small; a greedy warm start seeds the search; and the C4 tiered
+ * fallback (soft-threshold relaxation -> incremental preloading ->
+ * greedy backup) guarantees a plan within the time limit.
+ */
+
+#ifndef FLASHMEM_CORE_LC_OPG_HH
+#define FLASHMEM_CORE_LC_OPG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/overlap_plan.hh"
+#include "gpusim/kernel.hh"
+#include "profiler/capacity.hh"
+#include "solver/solver.hh"
+
+namespace flashmem::core {
+
+/** OPG hyper-parameters (paper Sections 3.1-3.2). */
+struct OpgParams
+{
+    Bytes chunkBytes = mib(1);          ///< S
+    Bytes mPeak = mib(500);             ///< M_peak (memory priority)
+    /** Preload-vs-distance balance; ~0.9 prioritizes low memory. */
+    double lambda = 0.9;
+    /** Distance-penalty weight (mu). */
+    double mu = 0.1;
+    /** Rolling-window length in layers (incremental scheduling). */
+    int windowLayers = 32;
+    /** How many layers before i_w a chunk may be transformed. */
+    int maxLoadDistance = 24;
+    /**
+     * CP-SAT search budget per window, in decisions. A decision-based
+     * budget keeps planning bit-deterministic across hosts; the
+     * wall-clock limit below is only a backstop.
+     */
+    std::uint64_t solverDecisionsPerWindow = 20000;
+    /** Wall-clock backstop per window, seconds. */
+    double solverTimePerWindow = 0.5;
+    /** C4 soft-threshold relaxation factor per fallback round. */
+    double softThresholdGrowth = 1.3;
+    /** Fallback rounds before the greedy backup takes over a window. */
+    int maxFallbackRounds = 2;
+    /**
+     * Explicit preload list (paper Section 5.4: "weights can also be
+     * explicitly specified by directly adding their names to the
+     * preload list |W|"): weights are pinned into W, in consumer
+     * order, until this fraction of total weight bytes is covered.
+     * The latency-priority end of the Figure-8 trade-off.
+     */
+    double minPreloadFraction = 0.0;
+};
+
+/** Offline-stage statistics (paper Table 4 columns). */
+struct PlanStats
+{
+    double processNodesSeconds = 0.0;   ///< graph analysis + capacities
+    double buildModelSeconds = 0.0;     ///< CP model construction
+    double solveSeconds = 0.0;          ///< CP-SAT search
+    solver::SolveStatus overallStatus = solver::SolveStatus::Optimal;
+    int windows = 0;
+    int optimalWindows = 0;
+    int feasibleWindows = 0;
+    int softRelaxations = 0;            ///< C4 tier-1 events
+    int forcedPreloads = 0;             ///< C4 tier-2 events
+    int greedyWindows = 0;              ///< C4 tier-3 events
+    std::uint64_t solverDecisions = 0;
+};
+
+/** Produces overlap plans for one graph on one device. */
+class LcOpgPlanner
+{
+  public:
+    /**
+     * @param g graph to plan (post-fusion).
+     * @param capacity provider of per-layer load capacities.
+     * @param kernel_model device kernel model (for specs).
+     * @param params hyper-parameters.
+     */
+    LcOpgPlanner(const graph::Graph &g,
+                 const profiler::CapacityProvider &capacity,
+                 const gpusim::KernelModel &kernel_model,
+                 OpgParams params = {});
+
+    /** Run LC-OPG; always returns a valid plan. */
+    OverlapPlan plan(PlanStats *stats = nullptr);
+
+    /** Per-layer capacities in chunks (after analysis). */
+    const std::vector<std::int64_t> &layerCapacities() const
+    {
+        return capacity_chunks_;
+    }
+
+  private:
+    struct WindowResult
+    {
+        bool usedGreedy = false;
+        int softRelaxations = 0;
+        int forcedPreloads = 0;
+        solver::SolveStatus status = solver::SolveStatus::Optimal;
+        std::uint64_t decisions = 0;
+        double buildSeconds = 0.0;
+        double solveSeconds = 0.0;
+    };
+
+    /** Analyze graph: kernel specs, capacities, chunk counts. */
+    void processNodes();
+
+    /** Plan one window [start, end); appends into @p plan. */
+    WindowResult planWindow(graph::NodeId start, graph::NodeId end,
+                            OverlapPlan &plan);
+
+    /**
+     * Greedy latest-feasible chunk placement for the given weights;
+     * returns per-weight (assignments, preload leftovers). Used as the
+     * warm start and as the tier-3 fallback.
+     */
+    struct GreedyOut
+    {
+        // Parallel to the weight list handed in.
+        std::vector<std::vector<std::pair<graph::NodeId, std::int64_t>>>
+            assignments;
+        std::vector<std::int64_t> preload;
+    };
+    GreedyOut greedyAssign(
+        const std::vector<graph::WeightId> &weights,
+        const std::vector<std::int64_t> &residual_capacity,
+        const std::vector<std::int64_t> &inflight_used) const;
+
+    const graph::Graph &g_;
+    const profiler::CapacityProvider &capacity_;
+    const gpusim::KernelModel &kernel_model_;
+    OpgParams params_;
+    WeightSlicer slicer_;
+
+    // processNodes() outputs.
+    std::vector<gpusim::KernelSpec> specs_;          // per layer
+    std::vector<std::int64_t> capacity_chunks_;      // C_l per layer
+    std::vector<std::int64_t> chunk_count_;          // T(w) per weight
+    std::vector<bool> pinned_preload_;               // explicit W list
+    // Cross-window state.
+    std::vector<std::int64_t> residual_capacity_;    // C_l minus spent
+    std::vector<std::int64_t> inflight_used_;        // M_peak usage/layer
+};
+
+} // namespace flashmem::core
+
+#endif // FLASHMEM_CORE_LC_OPG_HH

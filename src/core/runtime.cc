@@ -1,0 +1,199 @@
+#include "core/runtime.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace flashmem::core {
+
+using gpusim::MemKind;
+
+StreamingRuntime::StreamingRuntime(gpusim::GpuSimulator &sim,
+                                   const graph::Graph &g,
+                                   const OverlapPlan &plan)
+    : sim_(sim), g_(g), plan_(plan)
+{
+    plan_.validate(g_);
+
+    loads_at_.resize(g_.layerCount());
+    WeightSlicer slicer(plan_.chunkBytes());
+    for (const auto &w : g_.weights()) {
+        const auto &s = plan_.schedule(w.id);
+        if (s.preloadChunks > 0) {
+            // Preload reads are sequenced by consumer with a large
+            // lead, so early layers are never blocked behind weights
+            // needed much later.
+            graph::NodeId z = std::max<graph::NodeId>(
+                0, w.consumer - kPreloadLeadLayers);
+            loads_at_[z].push_back({w.id, true});
+        }
+        if (s.earliestLoadLayer != graph::kInvalidNode &&
+            slicer.chunkCount(w) > s.preloadChunks)
+            loads_at_[s.earliestLoadLayer].push_back({w.id, false});
+    }
+
+    last_consumer_.assign(g_.layerCount(), graph::kInvalidNode);
+    for (const auto &n : g_.nodes()) {
+        for (auto in : n.inputs)
+            last_consumer_[in] = std::max(last_consumer_[in], n.id);
+    }
+}
+
+RunResult
+StreamingRuntime::run(const RunConfig &cfg)
+{
+    auto &mem = sim_.memory();
+    const auto &km = sim_.kernelModel();
+    WeightSlicer slicer(plan_.chunkBytes());
+
+    RunResult result;
+    result.model = g_.name();
+    result.start = cfg.arrival;
+
+    // Framework residency: CL context, command buffers, graph metadata
+    // and IO staging that any runtime keeps live for a loaded model.
+    Bytes base_overhead =
+        mib(60) + static_cast<Bytes>(g_.layerCount()) * kib(30);
+    mem.alloc(MemKind::Scratch, base_overhead, cfg.arrival);
+
+    // FlashMem treats initialization and execution as a whole:
+    // execution starts immediately; preload reads are interleaved with
+    // streamed reads in consumer order (see loads_at_ construction) and
+    // each preloaded weight becomes texture-resident as its bytes pass
+    // through the DMA transform queue.
+    std::vector<SimTime> preload_ready(g_.weightCount(), cfg.arrival);
+    SimTime init_done = cfg.arrival;
+
+    // ---- Streamed execution. ------------------------------------------
+    const auto layers = static_cast<graph::NodeId>(g_.layerCount());
+    // Per-weight streaming state.
+    std::vector<gpusim::Interval> disk_iv(g_.weightCount());
+    std::vector<bool> disk_issued(g_.weightCount(), false);
+    std::vector<std::int64_t> chunks_done(g_.weightCount(), 0);
+    std::vector<Bytes> um_remaining(g_.weightCount(), 0);
+    std::vector<std::int64_t> stream_chunks(g_.weightCount(), 0);
+    for (const auto &w : g_.weights()) {
+        stream_chunks[w.id] = slicer.chunkCount(w) -
+                              plan_.schedule(w.id).preloadChunks;
+    }
+
+    SimTime prev_end = cfg.arrival;
+    for (graph::NodeId l = 0; l < layers; ++l) {
+        const auto &node = g_.node(l);
+
+        // Issue disk reads scheduled for this layer.
+        for (const auto &issue : loads_at_[l]) {
+            const auto &w = g_.weight(issue.weight);
+            Bytes pb = slicer.bytesForChunks(
+                w, plan_.schedule(issue.weight).preloadChunks);
+            if (issue.preload) {
+                auto iv = sim_.disk().transfer(prev_end, pb);
+                mem.alloc(MemKind::UnifiedWeights, pb, prev_end);
+                auto xf = sim_.transformQueue().transfer(iv.end, pb);
+                preload_ready[issue.weight] = xf.end;
+                init_done = std::max(init_done, xf.end);
+                mem.free(MemKind::UnifiedWeights, pb, xf.end);
+                mem.alloc(MemKind::TextureWeights, pb, xf.end);
+                continue;
+            }
+            Bytes stream_bytes = w.bytes() - pb;
+            disk_iv[issue.weight] =
+                sim_.disk().transfer(prev_end, stream_bytes);
+            disk_issued[issue.weight] = true;
+            um_remaining[issue.weight] = stream_bytes;
+            mem.alloc(MemKind::UnifiedWeights, stream_bytes, prev_end);
+        }
+
+        // Readiness: inline chunks must be on unified memory; weights
+        // consumed here must be fully resident in texture memory —
+        // streamed chunks were transformed by earlier kernels (plan
+        // validation), preloaded bytes arrive with the init stream.
+        SimTime ready = prev_end;
+        for (auto wid : node.weights) {
+            if (plan_.schedule(wid).preloadChunks > 0)
+                ready = std::max(ready, preload_ready[wid]);
+        }
+        Bytes inline_bytes = 0;
+        const auto &assigns = plan_.assignmentsAt(l);
+        for (const auto &a : assigns) {
+            FM_ASSERT(disk_issued[a.weight],
+                      "transform before disk issue for weight ",
+                      a.weight);
+            const auto &iv = disk_iv[a.weight];
+            double frac =
+                static_cast<double>(chunks_done[a.weight] + a.chunks) /
+                static_cast<double>(stream_chunks[a.weight]);
+            auto avail = iv.start + static_cast<SimTime>(
+                                        frac * static_cast<double>(
+                                                   iv.duration()));
+            ready = std::max(ready, avail);
+            inline_bytes += std::min<Bytes>(
+                static_cast<Bytes>(a.chunks) * plan_.chunkBytes(),
+                um_remaining[a.weight]);
+        }
+
+        // Kernel dispatch.
+        auto spec = gpusim::kernelSpecFor(g_, l, true);
+        spec.pipelined = cfg.branchFreeKernels && inline_bytes > 0;
+        SimTime duration = km.baseLatency(spec) +
+                           km.inlineLoadPenalty(spec, inline_bytes);
+        auto k_iv = sim_.computeQueue().reserve(ready, duration);
+        result.stallTime += std::max<SimTime>(k_iv.start - prev_end, 0);
+        ++result.kernels;
+
+        mem.alloc(MemKind::Activations, node.output.bytes(), k_iv.start);
+
+        // Inline transforms retire with the kernel: UM -> TM.
+        for (const auto &a : assigns) {
+            Bytes moved = std::min<Bytes>(
+                static_cast<Bytes>(a.chunks) * plan_.chunkBytes(),
+                um_remaining[a.weight]);
+            chunks_done[a.weight] += a.chunks;
+            um_remaining[a.weight] -= moved;
+            mem.free(MemKind::UnifiedWeights, moved, k_iv.end);
+            mem.alloc(MemKind::TextureWeights, moved, k_iv.end);
+        }
+
+        // Texture weights retire after their (single) consumer — both
+        // the streamed chunks and this weight's share of the preload
+        // set; inference uses each weight once.
+        for (auto wid : node.weights) {
+            const auto &w = g_.weight(wid);
+            if (w.bytes() > 0)
+                mem.free(MemKind::TextureWeights, w.bytes(), k_iv.end);
+        }
+
+        // Retire activations whose last consumer ran (dedup repeated
+        // inputs such as add(x, x)).
+        for (std::size_t i = 0; i < node.inputs.size(); ++i) {
+            auto in = node.inputs[i];
+            if (std::find(node.inputs.begin(), node.inputs.begin() + i,
+                          in) != node.inputs.begin() + i)
+                continue;
+            if (last_consumer_[in] == l) {
+                mem.free(MemKind::Activations,
+                         g_.node(in).output.bytes(), k_iv.end);
+            }
+        }
+
+        prev_end = k_iv.end;
+    }
+
+    // Unconsumed outputs + the persistent preload set unload with the
+    // model.
+    for (const auto &n : g_.nodes()) {
+        if (last_consumer_[n.id] == graph::kInvalidNode)
+            mem.free(MemKind::Activations, n.output.bytes(), prev_end);
+    }
+    mem.free(MemKind::Scratch, base_overhead, prev_end);
+
+    result.initDone = std::min(init_done, prev_end);
+    result.end = prev_end;
+    result.peakMemory = mem.peakOver(result.start, result.end);
+    result.avgMemoryBytes = mem.averageBytes(result.start, result.end);
+    result.oom = result.peakMemory > sim_.device().appMemoryBudget &&
+                 sim_.device().appMemoryBudget > 0;
+    return result;
+}
+
+} // namespace flashmem::core

@@ -1,0 +1,77 @@
+#include "gpusim/device.hh"
+
+namespace flashmem::gpusim {
+
+DeviceProfile
+DeviceProfile::onePlus12()
+{
+    DeviceProfile d;
+    d.name = "OnePlus 12";
+    d.gpu = "Adreno 750";
+    d.ramBytes = gib(16);
+    d.appMemoryBudget = gib(10);
+    d.diskToUm = Bandwidth::gbps(1.5);
+    d.umToTm = Bandwidth::gbps(65.0);
+    d.tmToSm = Bandwidth::gbps(172.0);
+    d.l2 = Bandwidth::gbps(560.0);
+    d.fp16Gflops = 2800.0;
+    d.fp32Gflops = 1400.0;
+    return d;
+}
+
+DeviceProfile
+DeviceProfile::onePlus11()
+{
+    DeviceProfile d;
+    d.name = "OnePlus 11";
+    d.gpu = "Adreno 740";
+    d.ramBytes = gib(16);
+    d.appMemoryBudget = gib(10);
+    d.diskToUm = Bandwidth::gbps(1.4);
+    d.umToTm = Bandwidth::gbps(58.0);
+    d.tmToSm = Bandwidth::gbps(155.0);
+    d.l2 = Bandwidth::gbps(500.0);
+    d.fp16Gflops = 2400.0;
+    d.fp32Gflops = 1200.0;
+    d.computePowerW = 4.6;
+    return d;
+}
+
+DeviceProfile
+DeviceProfile::pixel8()
+{
+    DeviceProfile d;
+    d.name = "Google Pixel 8";
+    d.gpu = "Mali-G715 MP7";
+    d.ramBytes = gib(8);
+    d.appMemoryBudget = gib(4.5);
+    d.diskToUm = Bandwidth::gbps(1.2);
+    d.umToTm = Bandwidth::gbps(40.0);
+    d.tmToSm = Bandwidth::gbps(105.0);
+    d.l2 = Bandwidth::gbps(350.0);
+    d.fp16Gflops = 1300.0;
+    d.fp32Gflops = 650.0;
+    d.kernelLaunchOverhead = microseconds(26);
+    return d;
+}
+
+DeviceProfile
+DeviceProfile::xiaomiMi6()
+{
+    DeviceProfile d;
+    d.name = "Xiaomi Mi 6";
+    d.gpu = "Adreno 540";
+    d.ramBytes = gib(6);
+    d.appMemoryBudget = gib(3.5);
+    d.diskToUm = Bandwidth::gbps(0.65);
+    d.umToTm = Bandwidth::gbps(22.0);
+    d.tmToSm = Bandwidth::gbps(58.0);
+    d.l2 = Bandwidth::gbps(190.0);
+    d.fp16Gflops = 550.0;
+    d.fp32Gflops = 275.0;
+    d.kernelLaunchOverhead = microseconds(34);
+    d.computePowerW = 3.4;
+    return d;
+}
+
+} // namespace flashmem::gpusim

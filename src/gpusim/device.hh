@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Mobile device profiles.
+ *
+ * Each profile captures the memory hierarchy of paper Figure 1 (a):
+ * disk -> unified memory -> texture memory -> streaming multiprocessors,
+ * with the published bandwidth ratios, plus compute throughput, memory
+ * budget, kernel-launch overhead, and an activity-based power model.
+ */
+
+#ifndef FLASHMEM_GPUSIM_DEVICE_HH
+#define FLASHMEM_GPUSIM_DEVICE_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace flashmem::gpusim {
+
+/** Static description of one evaluated phone. */
+struct DeviceProfile
+{
+    std::string name;       ///< e.g. "OnePlus 12"
+    std::string gpu;        ///< e.g. "Adreno 750"
+
+    /** @name Memory capacity. @{ */
+    Bytes ramBytes = gib(16);
+    /**
+     * Memory an app may hold before the OS low-memory killer fires;
+     * models that exceed this during init or execution OOM.
+     */
+    Bytes appMemoryBudget = gib(10);
+    /** @} */
+
+    /** @name Figure-1 hierarchy bandwidths. @{ */
+    Bandwidth diskToUm = Bandwidth::gbps(1.5);   ///< UFS sequential read
+    /** Per-request latency of a disk read (file API + UFS latency);
+     * just-in-time per-tensor reads pay it on the critical path. */
+    SimTime diskRequestOverhead = microseconds(150);
+    Bandwidth umToTm = Bandwidth::gbps(65.0);    ///< transform path
+    Bandwidth tmToSm = Bandwidth::gbps(172.0);   ///< texture fetch
+    Bandwidth l2 = Bandwidth::gbps(560.0);       ///< on-chip cache
+    /** @} */
+
+    /** @name Compute. @{ */
+    double fp16Gflops = 2800.0;
+    double fp32Gflops = 1400.0;
+    /** Sustained fraction of peak for well-shaped reusable kernels. */
+    double matmulEfficiency = 0.35;
+    /** Convolutions reach lower peak fractions on mobile GPUs. */
+    double convEfficiency = 0.22;
+    SimTime kernelLaunchOverhead = microseconds(20);
+    /** Extra overhead of a dedicated (non-fused) transform dispatch. */
+    SimTime transformDispatchOverhead = microseconds(80);
+    /** @} */
+
+    /** @name Activity-based power model (watts). @{ */
+    double basePowerW = 1.1;
+    double computePowerW = 4.2;   ///< SMs busy
+    double memoryPowerW = 1.6;    ///< DRAM traffic at full bandwidth
+    double diskPowerW = 0.9;      ///< UFS active
+    /** @} */
+
+    /** Peak GFLOPS for @p p. */
+    double
+    gflops(Precision p) const
+    {
+        return p == Precision::FP16 ? fp16Gflops : fp32Gflops;
+    }
+
+    /** @name The four evaluated phones (paper Section 5.1). @{ */
+    static DeviceProfile onePlus12();
+    static DeviceProfile onePlus11();
+    static DeviceProfile pixel8();
+    static DeviceProfile xiaomiMi6();
+    /** @} */
+};
+
+} // namespace flashmem::gpusim
+
+#endif // FLASHMEM_GPUSIM_DEVICE_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * GPU kernel latency model.
+ *
+ * Two responsibilities:
+ *  1. Base latency of a lowered operator on a device (roofline over
+ *     compute throughput and the texture/unified memory path, plus
+ *     launch overhead).
+ *  2. The *overlap response*: how much slower a kernel runs when forced
+ *     to stream extra weight bytes inline (paper Figure 2). Reusable
+ *     kernels hide loads under compute slack, elemental kernels pay the
+ *     stream cost linearly, hierarchical kernels are disrupted by their
+ *     staged synchronization. These curves are what the load-capacity
+ *     model (Section 4.2) inverts into per-layer capacities.
+ */
+
+#ifndef FLASHMEM_GPUSIM_KERNEL_HH
+#define FLASHMEM_GPUSIM_KERNEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "gpusim/device.hh"
+#include "graph/graph.hh"
+
+namespace flashmem::gpusim {
+
+/** Everything the latency model needs to know about one dispatch. */
+struct KernelSpec
+{
+    graph::OpKind kind = graph::OpKind::MatMul;
+    std::uint64_t macs = 0;
+    Bytes inputBytes = 0;
+    Bytes outputBytes = 0;
+    Bytes weightBytes = 0;
+    Precision precision = Precision::FP16;
+    /** Texture-path kernel (2.5D layout) vs plain buffer kernel. */
+    bool usesTexture = true;
+    /** Branch-free pipelined rewrite (paper Section 4.4). */
+    bool pipelined = false;
+
+    /** @name Work-group geometry (profiler features). @{ */
+    std::int64_t gwsX = 0, gwsY = 0;
+    int lwsX = 8, lwsY = 8;
+    /** @} */
+
+    graph::OpClass cls() const { return graph::opClass(kind); }
+    Bytes totalBytes() const
+    {
+        return inputBytes + outputBytes + weightBytes;
+    }
+};
+
+/** Build the dispatch descriptor for one graph node. */
+KernelSpec kernelSpecFor(const graph::Graph &g, graph::NodeId id,
+                         bool uses_texture);
+
+/** Per-device latency model. */
+class KernelModel
+{
+  public:
+    explicit KernelModel(const DeviceProfile &dev) : dev_(dev) {}
+
+    /** Latency with no inline loading (includes launch overhead). */
+    SimTime baseLatency(const KernelSpec &spec) const;
+
+    /**
+     * Additional latency when the kernel streams @p extra_bytes of
+     * weights from unified into texture memory while computing
+     * (the Figure-2 response).
+     */
+    SimTime inlineLoadPenalty(const KernelSpec &spec,
+                              Bytes extra_bytes) const;
+
+    /** Total latency with inline loading. */
+    SimTime
+    latencyWithLoad(const KernelSpec &spec, Bytes extra_bytes) const
+    {
+        return baseLatency(spec) + inlineLoadPenalty(spec, extra_bytes);
+    }
+
+    /**
+     * Largest inline load whose penalty stays within
+     * @p latency_increase_limit x baseLatency (capacity inversion used
+     * by the profiler, Section 4.2).
+     */
+    Bytes loadCapacityBytes(const KernelSpec &spec,
+                            double latency_increase_limit) const;
+
+    /** Compute-roofline time (no memory, no launch overhead). */
+    SimTime computeTime(const KernelSpec &spec) const;
+
+    /** Memory-roofline time through the kernel's data path. */
+    SimTime memoryTime(const KernelSpec &spec) const;
+
+    const DeviceProfile &device() const { return dev_; }
+
+    /**
+     * Effective inline-streaming bandwidth inside a running kernel:
+     * a fraction of the UM->TM path, degraded when the kernel is not
+     * the branch-free pipelined rewrite (divergent interleaving).
+     */
+    double inlineStreamBandwidth(const KernelSpec &spec) const;
+
+  private:
+    DeviceProfile dev_;
+};
+
+} // namespace flashmem::gpusim
+
+#endif // FLASHMEM_GPUSIM_KERNEL_HH

@@ -1,0 +1,75 @@
+#include "gpusim/memory.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace flashmem::gpusim {
+
+const char *
+memKindName(MemKind kind)
+{
+    switch (kind) {
+      case MemKind::UnifiedWeights:
+        return "um_weights";
+      case MemKind::TextureWeights:
+        return "tm_weights";
+      case MemKind::Activations:
+        return "activations";
+      case MemKind::Scratch:
+        return "scratch";
+      case MemKind::NumKinds:
+        break;
+    }
+    return "?";
+}
+
+void
+MemoryTracker::alloc(MemKind kind, Bytes bytes, SimTime at)
+{
+    auto idx = static_cast<std::size_t>(kind);
+    used_[idx] += bytes;
+    total_ += bytes;
+    peak_ = std::max(peak_, total_);
+    peak_per_kind_[idx] = std::max(peak_per_kind_[idx], used_[idx]);
+    if (budget_ > 0 && total_ > budget_)
+        oom_ = true;
+    total_trace_.record(clamp(at), static_cast<double>(total_));
+}
+
+void
+MemoryTracker::free(MemKind kind, Bytes bytes, SimTime at)
+{
+    auto idx = static_cast<std::size_t>(kind);
+    FM_ASSERT(used_[idx] >= bytes, "over-free of ", memKindName(kind),
+              ": freeing ", bytes, " with ", used_[idx], " live");
+    used_[idx] -= bytes;
+    total_ -= bytes;
+    total_trace_.record(clamp(at), static_cast<double>(total_));
+}
+
+Bytes
+MemoryTracker::peakOver(SimTime start, SimTime end) const
+{
+    return static_cast<Bytes>(total_trace_.maxOver(start, end));
+}
+
+Bytes
+MemoryTracker::used(MemKind kind) const
+{
+    return used_[static_cast<std::size_t>(kind)];
+}
+
+Bytes
+MemoryTracker::peak(MemKind kind) const
+{
+    return peak_per_kind_[static_cast<std::size_t>(kind)];
+}
+
+double
+MemoryTracker::averageBytes(SimTime start, SimTime end) const
+{
+    return total_trace_.timeWeightedAverage(start, end);
+}
+
+} // namespace flashmem::gpusim

@@ -1,0 +1,28 @@
+#include "gpusim/power.hh"
+
+namespace flashmem::gpusim {
+
+double
+PowerModel::energyJoules(const ActivitySummary &activity) const
+{
+    double makespan_s = toSeconds(activity.makespan);
+    double compute_s = toSeconds(activity.computeBusy);
+    double disk_s = toSeconds(activity.diskBusy);
+    // DRAM traffic expressed as time at full unified-memory bandwidth.
+    double mem_s = static_cast<double>(activity.bytesMoved) /
+                   dev_.umToTm.bytesPerSecond;
+
+    return dev_.basePowerW * makespan_s +
+           dev_.computePowerW * compute_s + dev_.diskPowerW * disk_s +
+           dev_.memoryPowerW * mem_s;
+}
+
+double
+PowerModel::averagePowerW(const ActivitySummary &activity) const
+{
+    if (activity.makespan <= 0)
+        return 0.0;
+    return energyJoules(activity) / toSeconds(activity.makespan);
+}
+
+} // namespace flashmem::gpusim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Activity-based power/energy model.
+ *
+ * Energy integrates a base rail plus per-component activity: SM-busy
+ * time, disk-busy time, and DRAM traffic expressed as equivalent
+ * full-bandwidth time. This reproduces the paper's Table-9 structure:
+ * FlashMem draws similar-or-higher instantaneous power (better GPU
+ * utilization, concurrent disk traffic) yet far less energy because the
+ * run is much shorter.
+ */
+
+#ifndef FLASHMEM_GPUSIM_POWER_HH
+#define FLASHMEM_GPUSIM_POWER_HH
+
+#include "common/types.hh"
+#include "gpusim/device.hh"
+
+namespace flashmem::gpusim {
+
+/** Busy-time summary of one simulated run. */
+struct ActivitySummary
+{
+    SimTime makespan = 0;     ///< wall-clock of the whole run
+    SimTime computeBusy = 0;  ///< SM busy time
+    SimTime diskBusy = 0;     ///< UFS busy time
+    Bytes bytesMoved = 0;     ///< DRAM/texture traffic
+};
+
+/** Converts activity into joules / watts for one device. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const DeviceProfile &dev) : dev_(dev) {}
+
+    /** Total energy in joules. */
+    double energyJoules(const ActivitySummary &activity) const;
+
+    /** Mean power over the makespan in watts. */
+    double averagePowerW(const ActivitySummary &activity) const;
+
+  private:
+    DeviceProfile dev_;
+};
+
+} // namespace flashmem::gpusim
+
+#endif // FLASHMEM_GPUSIM_POWER_HH

@@ -1,0 +1,106 @@
+#include "gpusim/texture_cache.hh"
+
+#include "common/logging.hh"
+
+namespace flashmem::gpusim {
+
+TextureCache::TextureCache(Bytes size_bytes, Bytes line_bytes, int ways)
+    : line_bytes_(line_bytes), ways_(ways)
+{
+    FM_ASSERT(line_bytes > 0 && ways > 0, "bad cache geometry");
+    std::size_t lines = size_bytes / line_bytes;
+    FM_ASSERT(lines >= static_cast<std::size_t>(ways),
+              "cache smaller than one set");
+    sets_ = lines / ways;
+    lines_.resize(sets_ * ways_);
+}
+
+bool
+TextureCache::access(std::uint64_t address)
+{
+    ++tick_;
+    std::uint64_t line_addr = address / line_bytes_;
+    std::size_t set = line_addr % sets_;
+    std::uint64_t tag = line_addr / sets_;
+
+    Line *base = &lines_[set * ways_];
+    Line *victim = base;
+    for (int w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = tick_;
+            ++hits_;
+            return true;
+        }
+        if (!line.valid || line.lru < victim->lru ||
+            (victim->valid && !line.valid)) {
+            victim = &line;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = tick_;
+    ++misses_;
+    return false;
+}
+
+double
+TextureCache::hitRate() const
+{
+    auto total = accesses();
+    return total ? static_cast<double>(hits_) / total : 0.0;
+}
+
+void
+TextureCache::resetStats()
+{
+    hits_ = 0;
+    misses_ = 0;
+}
+
+double
+simulateTiledSweep(TextureCache &cache, const TextureLayout &layout,
+                   Precision precision, int tile_w, int tile_h)
+{
+    cache.resetStats();
+    const Bytes texel_bytes =
+        TextureLayout::kChannels * elementSize(precision);
+    const std::int64_t row_bytes = layout.width * texel_bytes;
+
+    for (std::int64_t ty = 0; ty < layout.height; ty += tile_h) {
+        for (std::int64_t tx = 0; tx < layout.width; tx += tile_w) {
+            for (int y = 0; y < tile_h && ty + y < layout.height; ++y) {
+                for (int x = 0; x < tile_w && tx + x < layout.width;
+                     ++x) {
+                    std::uint64_t addr =
+                        static_cast<std::uint64_t>(ty + y) * row_bytes +
+                        (tx + x) * texel_bytes;
+                    cache.access(addr);
+                }
+            }
+        }
+    }
+    return cache.hitRate();
+}
+
+double
+simulateStridedSweep(TextureCache &cache, Bytes total_bytes,
+                     Bytes stride_bytes, Bytes access_bytes)
+{
+    cache.resetStats();
+    FM_ASSERT(stride_bytes > 0 && access_bytes > 0, "bad sweep params");
+    // Column-major walk: repeatedly jump by `stride_bytes`, wrapping with
+    // an offset, touching `access_bytes` each time.
+    std::uint64_t offset = 0;
+    for (std::uint64_t touched = 0; touched < total_bytes;
+         touched += access_bytes) {
+        std::uint64_t addr = offset;
+        cache.access(addr);
+        offset += stride_bytes;
+        if (offset >= total_bytes)
+            offset = (offset % stride_bytes) + access_bytes;
+    }
+    return cache.hitRate();
+}
+
+} // namespace flashmem::gpusim

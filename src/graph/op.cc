@@ -1,0 +1,104 @@
+#include "graph/op.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace flashmem::graph {
+
+namespace {
+
+struct OpInfo
+{
+    OpKind kind;
+    const char *name;
+    OpClass cls;
+    bool weighted;
+};
+
+constexpr std::array<OpInfo, static_cast<std::size_t>(OpKind::NumKinds)>
+kOpInfo{{
+    {OpKind::MatMul, "matmul", OpClass::Reusable, true},
+    {OpKind::Conv2D, "conv2d", OpClass::Reusable, true},
+    {OpKind::DepthwiseConv2D, "dwconv2d", OpClass::Reusable, true},
+    {OpKind::AttentionMatMul, "attn_matmul", OpClass::Reusable, false},
+    {OpKind::Add, "add", OpClass::Elemental, false},
+    {OpKind::Mul, "mul", OpClass::Elemental, false},
+    {OpKind::BiasAdd, "bias_add", OpClass::Elemental, true},
+    {OpKind::ReLU, "relu", OpClass::Elemental, false},
+    {OpKind::GeLU, "gelu", OpClass::Elemental, false},
+    {OpKind::SiLU, "silu", OpClass::Elemental, false},
+    {OpKind::Sigmoid, "sigmoid", OpClass::Elemental, false},
+    {OpKind::Tanh, "tanh", OpClass::Elemental, false},
+    {OpKind::Scale, "scale", OpClass::Elemental, false},
+    {OpKind::Embedding, "embedding", OpClass::Elemental, true},
+    {OpKind::Pooling, "pooling", OpClass::Elemental, false},
+    {OpKind::Upsample, "upsample", OpClass::Elemental, false},
+    {OpKind::RoPE, "rope", OpClass::Elemental, false},
+    {OpKind::Softmax, "softmax", OpClass::Hierarchical, false},
+    {OpKind::LayerNorm, "layernorm", OpClass::Hierarchical, true},
+    {OpKind::GroupNorm, "groupnorm", OpClass::Hierarchical, true},
+    {OpKind::RMSNorm, "rmsnorm", OpClass::Hierarchical, true},
+    {OpKind::Reshape, "reshape", OpClass::Movement, false},
+    {OpKind::Transpose, "transpose", OpClass::Movement, false},
+    {OpKind::Concat, "concat", OpClass::Movement, false},
+    {OpKind::Split, "split", OpClass::Movement, false},
+    {OpKind::Slice, "slice", OpClass::Movement, false},
+}};
+
+const OpInfo &
+info(OpKind kind)
+{
+    auto idx = static_cast<std::size_t>(kind);
+    FM_ASSERT(idx < kOpInfo.size(), "bad OpKind ", idx);
+    FM_ASSERT(kOpInfo[idx].kind == kind, "kOpInfo table out of order");
+    return kOpInfo[idx];
+}
+
+} // namespace
+
+OpClass
+opClass(OpKind kind)
+{
+    return info(kind).cls;
+}
+
+const char *
+opKindName(OpKind kind)
+{
+    return info(kind).name;
+}
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::Elemental:
+        return "elemental";
+      case OpClass::Reusable:
+        return "reusable";
+      case OpClass::Hierarchical:
+        return "hierarchical";
+      case OpClass::Movement:
+        return "movement";
+    }
+    return "?";
+}
+
+bool
+opUsuallyWeighted(OpKind kind)
+{
+    return info(kind).weighted;
+}
+
+OpKind
+opKindFromName(const std::string &name)
+{
+    for (const auto &entry : kOpInfo) {
+        if (name == entry.name)
+            return entry.kind;
+    }
+    FM_FATAL("unknown operator name '", name, "'");
+}
+
+} // namespace flashmem::graph

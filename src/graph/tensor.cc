@@ -1,0 +1,66 @@
+#include "graph/tensor.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace flashmem::graph {
+
+TensorShape::TensorShape(std::initializer_list<std::int64_t> dims)
+    : dims_(dims)
+{
+    for (auto d : dims_)
+        FM_ASSERT(d > 0, "tensor dims must be positive, got ", d);
+}
+
+TensorShape::TensorShape(std::vector<std::int64_t> dims)
+    : dims_(std::move(dims))
+{
+    for (auto d : dims_)
+        FM_ASSERT(d > 0, "tensor dims must be positive, got ", d);
+}
+
+std::int64_t
+TensorShape::dim(std::size_t i) const
+{
+    FM_ASSERT(i < dims_.size(), "dim index ", i, " out of range");
+    return dims_[i];
+}
+
+std::int64_t
+TensorShape::elements() const
+{
+    std::int64_t n = 1;
+    for (auto d : dims_)
+        n *= d;
+    return n;
+}
+
+std::string
+TensorShape::toString() const
+{
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << dims_[i];
+    }
+    os << ']';
+    return os.str();
+}
+
+Bytes
+TensorDesc::bytes() const
+{
+    return static_cast<Bytes>(shape.elements()) * elementSize(precision);
+}
+
+std::string
+TensorDesc::toString() const
+{
+    return shape.toString() +
+           (precision == Precision::FP16 ? " fp16" : " fp32");
+}
+
+} // namespace flashmem::graph

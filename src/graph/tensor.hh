@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tensor shape / descriptor types for the graph IR.
+ */
+
+#ifndef FLASHMEM_GRAPH_TENSOR_HH
+#define FLASHMEM_GRAPH_TENSOR_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace flashmem::graph {
+
+/** Dense tensor shape; rank 0 means scalar. */
+class TensorShape
+{
+  public:
+    TensorShape() = default;
+    TensorShape(std::initializer_list<std::int64_t> dims);
+    explicit TensorShape(std::vector<std::int64_t> dims);
+
+    const std::vector<std::int64_t> &dims() const { return dims_; }
+    std::size_t rank() const { return dims_.size(); }
+    std::int64_t dim(std::size_t i) const;
+
+    /** Total element count (1 for scalars). */
+    std::int64_t elements() const;
+
+    /** "[1, 197, 768]" style rendering. */
+    std::string toString() const;
+
+    bool operator==(const TensorShape &other) const = default;
+
+  private:
+    std::vector<std::int64_t> dims_;
+};
+
+/** Shape + precision; enough to size buffers and texture layouts. */
+struct TensorDesc
+{
+    TensorShape shape;
+    Precision precision = Precision::FP16;
+
+    Bytes bytes() const;
+    std::string toString() const;
+
+    bool operator==(const TensorDesc &other) const = default;
+};
+
+} // namespace flashmem::graph
+
+#endif // FLASHMEM_GRAPH_TENSOR_HH

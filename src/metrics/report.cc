@@ -1,0 +1,99 @@
+#include "metrics/report.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace flashmem::metrics {
+
+void
+RatioSummary::add(double ratio)
+{
+    if (ratio > 0.0)
+        ratios_.push_back(ratio);
+}
+
+double
+RatioSummary::geomean() const
+{
+    return flashmem::geomean(ratios_);
+}
+
+double
+RatioSummary::min() const
+{
+    return ratios_.empty()
+               ? 0.0
+               : *std::min_element(ratios_.begin(), ratios_.end());
+}
+
+double
+RatioSummary::max() const
+{
+    return ratios_.empty()
+               ? 0.0
+               : *std::max_element(ratios_.begin(), ratios_.end());
+}
+
+std::vector<TracePoint>
+sampleTrace(const TimeSeries &trace, int points)
+{
+    std::vector<TracePoint> out;
+    if (trace.empty() || points <= 1)
+        return out;
+    SimTime start = trace.points().front().time;
+    SimTime end = trace.points().back().time;
+    if (end <= start)
+        return out;
+    out.reserve(points);
+    for (int i = 0; i < points; ++i) {
+        SimTime t = start + (end - start) *
+                                static_cast<SimTime>(i) /
+                                (points - 1);
+        out.push_back({toSeconds(t), trace.valueAt(t) / (1024.0 *
+                                                         1024.0)});
+    }
+    return out;
+}
+
+void
+renderAsciiChart(std::ostream &os,
+                 const std::vector<ChartSeries> &series, int width,
+                 int height)
+{
+    FM_ASSERT(width > 10 && height > 2, "chart too small");
+    double x_max = 0.0, y_max = 0.0;
+    for (const auto &s : series) {
+        for (const auto &p : s.points) {
+            x_max = std::max(x_max, p.seconds);
+            y_max = std::max(y_max, p.megabytes);
+        }
+    }
+    if (x_max <= 0.0 || y_max <= 0.0) {
+        os << "(empty chart)\n";
+        return;
+    }
+
+    std::vector<std::string> rows(height, std::string(width, ' '));
+    for (const auto &s : series) {
+        for (const auto &p : s.points) {
+            int x = static_cast<int>(p.seconds / x_max * (width - 1));
+            int y = static_cast<int>(p.megabytes / y_max * (height - 1));
+            x = std::clamp(x, 0, width - 1);
+            y = std::clamp(y, 0, height - 1);
+            rows[height - 1 - y][x] = s.glyph;
+        }
+    }
+
+    os << formatDouble(y_max, 0) << " MB\n";
+    for (const auto &row : rows)
+        os << "  |" << row << "\n";
+    os << "  +" << std::string(width, '-') << "> "
+       << formatDouble(x_max, 1) << " s\n";
+    for (const auto &s : series)
+        os << "   " << s.glyph << " = " << s.label << "\n";
+}
+
+} // namespace flashmem::metrics

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reporting helpers for the benchmark harnesses: speedup/reduction
+ * aggregation with geometric means, trace sampling, and ASCII charts
+ * for figure reproductions.
+ */
+
+#ifndef FLASHMEM_METRICS_REPORT_HH
+#define FLASHMEM_METRICS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace flashmem::metrics {
+
+/** Collects per-model ratios and reports their geometric mean. */
+class RatioSummary
+{
+  public:
+    /** Record one ratio (speedup, memory reduction, ...). */
+    void add(double ratio);
+
+    std::size_t count() const { return ratios_.size(); }
+    double geomean() const;
+    double min() const;
+    double max() const;
+
+  private:
+    std::vector<double> ratios_;
+};
+
+/** One sampled point of a memory trace. */
+struct TracePoint
+{
+    double seconds;
+    double megabytes;
+};
+
+/** Downsample a byte-valued time series to @p points step samples. */
+std::vector<TracePoint> sampleTrace(const TimeSeries &trace, int points);
+
+/**
+ * Render one or more labelled series as an ASCII chart (used by the
+ * figure benches). All series share the x (seconds) and y (MB) axes.
+ */
+struct ChartSeries
+{
+    std::string label;
+    char glyph = '*';
+    std::vector<TracePoint> points;
+};
+
+void renderAsciiChart(std::ostream &os,
+                      const std::vector<ChartSeries> &series, int width,
+                      int height);
+
+} // namespace flashmem::metrics
+
+#endif // FLASHMEM_METRICS_REPORT_HH

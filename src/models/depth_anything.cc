@@ -1,0 +1,131 @@
+/**
+ * @file
+ * DepthAnything (small / large): DINOv2 ViT backbone plus a DPT-style
+ * dense prediction head with four reassemble + fusion stages.
+ */
+
+#include "models/model_zoo.hh"
+
+#include "models/blocks.hh"
+
+namespace flashmem::models {
+
+namespace {
+
+struct DepthCfg
+{
+    std::string name;
+    std::int64_t dModel;
+    std::int64_t heads;
+    int blocks;
+    std::int64_t patchSide;  ///< tokens per side
+    std::int64_t headCh;     ///< DPT fusion channel width
+    int shapeOpsPerBlock;
+    int headShapeOps;
+};
+
+/** DPT reassemble: project tokens to a spatial map at one scale. */
+NodeId
+reassemble(GraphBuilder &b, NodeId tokens_node, const DepthCfg &cfg,
+           std::int64_t out_ch, int upsample_factor,
+           const std::string &prefix)
+{
+    auto t = b.matmul(tokens_node, out_ch, prefix + ".proj", false);
+    auto map = b.reshape(t, {1, out_ch, cfg.patchSide, cfg.patchSide},
+                         prefix + ".to_map");
+    if (upsample_factor > 1)
+        map = b.upsample(map, upsample_factor, prefix + ".up");
+    map = b.conv2d(map, cfg.headCh, 3, 1, 1, prefix + ".fuse_conv", false);
+    return map;
+}
+
+/** DPT fusion block: residual conv unit + merge (+ optional upsample). */
+NodeId
+fusionBlock(GraphBuilder &b, NodeId x, NodeId lateral, bool upsample,
+            const std::string &prefix)
+{
+    auto h = b.activation(x, OpKind::ReLU, prefix + ".relu1");
+    h = b.conv2d(h, b.shapeOf(x).dim(1), 3, 1, 1, prefix + ".conv1");
+    h = b.activation(h, OpKind::ReLU, prefix + ".relu2");
+    h = b.conv2d(h, b.shapeOf(x).dim(1), 3, 1, 1, prefix + ".conv2");
+    auto merged = b.add(h, lateral, prefix + ".merge");
+    return upsample ? b.upsample(merged, 2, prefix + ".up") : merged;
+}
+
+graph::Graph
+buildDepthFamily(const DepthCfg &cfg, Precision precision)
+{
+    GraphBuilder b(cfg.name, precision);
+    const std::int64_t img_side = cfg.patchSide * 14;
+    const std::int64_t tokens = cfg.patchSide * cfg.patchSide + 1;
+
+    auto img = b.input({1, 3, img_side, img_side});
+    auto patches = b.conv2d(img, cfg.dModel, 14, 14, 0, "patch_embed");
+    auto seq = b.reshape(patches,
+                         {cfg.patchSide * cfg.patchSide, cfg.dModel},
+                         "patch_flatten");
+    seq = b.concat({seq}, {tokens, cfg.dModel}, "cls_concat");
+    seq = b.biasAdd(seq, "pos_embed");
+    shapeOps(b, seq, 6, "stem_shape");
+
+    TransformerBlockCfg blk;
+    blk.attn.dModel = cfg.dModel;
+    blk.attn.heads = cfg.heads;
+    blk.attn.tokens = tokens;
+    blk.ffnMult = 4;
+    blk.shapeOps = cfg.shapeOpsPerBlock;
+
+    NodeId x = seq;
+    std::vector<NodeId> taps;
+    for (int i = 0; i < cfg.blocks; ++i) {
+        x = transformerBlock(b, x, blk, "blk." + std::to_string(i));
+        // Intermediate taps at 1/4, 1/2, 3/4 and final depth.
+        if ((i + 1) % (cfg.blocks / 4) == 0)
+            taps.push_back(x);
+    }
+
+    // Drop [CLS] before reassembling the spatial maps.
+    std::vector<NodeId> maps;
+    const int up_factors[4] = {4, 4, 2, 1};
+    for (std::size_t i = 0; i < taps.size(); ++i) {
+        auto body = b.slice(taps[i],
+                            {cfg.patchSide * cfg.patchSide, cfg.dModel},
+                            "tap" + std::to_string(i) + ".body");
+        maps.push_back(reassemble(b, body, cfg, cfg.headCh,
+                                  up_factors[i],
+                                  "reassemble" + std::to_string(i)));
+    }
+
+    // Fuse from coarsest to finest. The first two stages double the
+    // resolution so the running map matches the next lateral (maps[3] is
+    // 1x the patch grid, maps[1] and maps[0] are 4x); the final output
+    // map stays at 4x the patch grid.
+    NodeId fused = fusionBlock(b, maps[3], maps[3], true, "fusion3");
+    fused = fusionBlock(b, fused, maps[2], true, "fusion2");
+    fused = fusionBlock(b, fused, maps[1], false, "fusion1");
+    fused = fusionBlock(b, fused, maps[0], false, "fusion0");
+
+    auto out = b.conv2d(fused, cfg.headCh / 2, 3, 1, 1, "head.conv1");
+    out = b.activation(out, OpKind::ReLU, "head.relu");
+    out = b.conv2d(out, 32, 3, 1, 1, "head.conv2");
+    out = b.conv2d(out, 1, 1, 1, 0, "head.depth", false);
+    out = b.activation(out, OpKind::ReLU, "head.final_act");
+    shapeOps(b, out, cfg.headShapeOps, "head_shape");
+    return b.build();
+}
+
+} // namespace
+
+graph::Graph
+buildDepthAnything(bool large, Precision precision)
+{
+    DepthCfg cfg;
+    if (large) {
+        cfg = {"depth_anything_l", 1024, 16, 24, 21, 256, 57, 30};
+    } else {
+        cfg = {"depth_anything_s", 384, 6, 12, 21, 64, 63, 19};
+    }
+    return buildDepthFamily(cfg, precision);
+}
+
+} // namespace flashmem::models

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * GPT-Neo decoder-only language models (125M-class "small", 1.3B, 2.7B).
+ *
+ * Architecture follows EleutherAI GPT-Neo: learned token + position
+ * embeddings, pre-norm blocks with causal self-attention and 4x GeLU
+ * FFN, untied LM head (which is why the "small" model counts 164M
+ * parameters rather than 125M).
+ */
+
+#include "models/model_zoo.hh"
+
+#include "models/blocks.hh"
+
+namespace flashmem::models {
+
+graph::Graph
+buildGptNeo(const GptNeoCfg &cfg, Precision precision)
+{
+    GraphBuilder b(cfg.name, precision);
+
+    auto tok = b.embedding(cfg.seq, cfg.vocab, cfg.dModel, "wte");
+    auto pos = b.embedding(cfg.seq, 2048, cfg.dModel, "wpe");
+    auto x = b.add(tok, pos, "embed_add");
+
+    TransformerBlockCfg blk;
+    blk.attn.dModel = cfg.dModel;
+    blk.attn.heads = cfg.heads;
+    blk.attn.tokens = cfg.seq;
+    blk.attn.causalMask = true;
+    blk.ffnMult = 4;
+    blk.ffnActivation = OpKind::GeLU;
+    blk.shapeOps = cfg.shapeOpsPerBlock;
+
+    for (int i = 0; i < cfg.blocks; ++i)
+        x = transformerBlock(b, x, blk, "h." + std::to_string(i));
+
+    x = b.layerNorm(x, "ln_f");
+    x = b.matmul(x, cfg.vocab, "lm_head", false);
+    shapeOps(b, x, 1, "head_shape");
+    return b.build();
+}
+
+} // namespace flashmem::models

@@ -1,0 +1,106 @@
+#include "models/model_zoo.hh"
+
+#include "common/logging.hh"
+
+namespace flashmem::models {
+
+const std::vector<ModelSpec> &
+modelZoo()
+{
+    static const std::vector<ModelSpec> specs = {
+        {ModelId::GPTNeoS, "GPTN-S", "Text", "NLP", 164, 16, 606},
+        {ModelId::GPTNeo1_3B, "GPTN-1.3B", "Text", "NLP", 1419, 170,
+         1110},
+        {ModelId::GPTNeo2_7B, "GPTN-2.7B", "Text", "NLP", 2781, 342,
+         1446},
+        {ModelId::ResNet50, "ResNet50", "Image", "Classification", 25.6,
+         4.1, 141},
+        {ModelId::SAM2, "SAM-2", "Image", "Segmentation", 215, 218,
+         1668},
+        {ModelId::ViT, "ViT", "Image", "Classification", 103, 21, 819},
+        {ModelId::DeepViT, "DeepViT", "Image", "Classification", 204, 42,
+         1395},
+        {ModelId::SDUNet, "SD-UNet", "Image", "Generation", 860, 78,
+         1271},
+        {ModelId::WhisperMedium, "Whisper-M", "Audio",
+         "Speech Recognition", 356, 55, 2026},
+        {ModelId::DepthAnythingS, "DepthA-S", "Video", "Segmentation",
+         24.3, 14, 1108},
+        {ModelId::DepthAnythingL, "DepthA-L", "Video", "Segmentation",
+         333, 180, 2007},
+    };
+    return specs;
+}
+
+const ModelSpec &
+modelSpec(ModelId id)
+{
+    for (const auto &spec : modelZoo()) {
+        if (spec.id == id)
+            return spec;
+    }
+    FM_PANIC("modelSpec: unknown model id");
+}
+
+ModelId
+modelIdFromAbbr(const std::string &abbr)
+{
+    for (const auto &spec : modelZoo()) {
+        if (spec.abbr == abbr)
+            return spec.id;
+    }
+    FM_FATAL("unknown model abbreviation '", abbr, "'");
+}
+
+graph::Graph
+buildModel(ModelId id, Precision precision)
+{
+    switch (id) {
+      case ModelId::GPTNeoS: {
+        GptNeoCfg cfg;
+        cfg.blocks = 12;
+        cfg.dModel = 768;
+        cfg.heads = 12;
+        cfg.shapeOpsPerBlock = 24;
+        cfg.name = "gptneo_s";
+        return buildGptNeo(cfg, precision);
+      }
+      case ModelId::GPTNeo1_3B: {
+        GptNeoCfg cfg;
+        cfg.blocks = 24;
+        cfg.dModel = 2048;
+        cfg.heads = 16;
+        cfg.shapeOpsPerBlock = 20;
+        cfg.name = "gptneo_1p3b";
+        return buildGptNeo(cfg, precision);
+      }
+      case ModelId::GPTNeo2_7B: {
+        GptNeoCfg cfg;
+        cfg.blocks = 32;
+        cfg.dModel = 2560;
+        cfg.heads = 20;
+        cfg.shapeOpsPerBlock = 19;
+        cfg.name = "gptneo_2p7b";
+        return buildGptNeo(cfg, precision);
+      }
+      case ModelId::ResNet50:
+        return buildResNet50(precision);
+      case ModelId::SAM2:
+        return buildSAM2(precision);
+      case ModelId::ViT:
+        return buildViT(precision);
+      case ModelId::DeepViT:
+        return buildDeepViT(precision);
+      case ModelId::SDUNet:
+        return buildSDUNet(precision);
+      case ModelId::WhisperMedium:
+        return buildWhisperMedium(precision);
+      case ModelId::DepthAnythingS:
+        return buildDepthAnything(false, precision);
+      case ModelId::DepthAnythingL:
+        return buildDepthAnything(true, precision);
+    }
+    FM_PANIC("buildModel: unknown model id");
+}
+
+} // namespace flashmem::models

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The evaluated model zoo (paper Table 6) plus synthetic solver-stress
+ * models (paper Table 4).
+ *
+ * Each builder reconstructs the published architecture at the lowered
+ * operator level with synthetic weights, matching the paper's parameter
+ * counts, MAC counts, and layer (lowered-node) counts.
+ */
+
+#ifndef FLASHMEM_MODELS_MODEL_ZOO_HH
+#define FLASHMEM_MODELS_MODEL_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace flashmem::models {
+
+/** The 11 evaluated models of paper Table 6. */
+enum class ModelId
+{
+    GPTNeoS,
+    GPTNeo1_3B,
+    GPTNeo2_7B,
+    ResNet50,
+    SAM2,
+    ViT,
+    DeepViT,
+    SDUNet,
+    WhisperMedium,
+    DepthAnythingS,
+    DepthAnythingL,
+};
+
+/** Published characteristics from paper Table 6. */
+struct ModelSpec
+{
+    ModelId id;
+    std::string abbr;       ///< e.g. "GPTN-1.3B"
+    std::string inputType;  ///< Text / Image / Audio / Video
+    std::string task;
+    double paperParamsM;    ///< parameters in millions
+    double paperMacsG;      ///< multiply-accumulates in billions
+    int paperLayers;        ///< lowered operator nodes
+};
+
+/** All Table-6 entries in paper order. */
+const std::vector<ModelSpec> &modelZoo();
+
+/** Spec for one model. */
+const ModelSpec &modelSpec(ModelId id);
+
+/** Lookup by the paper's abbreviation column; fatal on unknown name. */
+ModelId modelIdFromAbbr(const std::string &abbr);
+
+/** Build the lowered graph for @p id. */
+graph::Graph buildModel(ModelId id,
+                        Precision precision = Precision::FP16);
+
+/** @name Individual architecture builders. @{ */
+
+/** GPT-Neo decoder-only LM configuration. */
+struct GptNeoCfg
+{
+    int blocks = 12;
+    std::int64_t dModel = 768;
+    std::int64_t heads = 12;
+    std::int64_t seq = 128;
+    std::int64_t vocab = 50257;
+    int shapeOpsPerBlock = 24;
+    std::string name = "gptneo";
+};
+graph::Graph buildGptNeo(const GptNeoCfg &cfg, Precision precision);
+
+graph::Graph buildResNet50(Precision precision);
+graph::Graph buildViT(Precision precision);
+graph::Graph buildDeepViT(Precision precision);
+graph::Graph buildSAM2(Precision precision);
+graph::Graph buildSDUNet(Precision precision);
+graph::Graph buildWhisperMedium(Precision precision);
+graph::Graph buildDepthAnything(bool large, Precision precision);
+
+/**
+ * Synthetic decoder-only transformer used for the solver-runtime study
+ * (paper Table 4: ViT-8B, Llama2-13B, Llama2-70B).
+ */
+struct SyntheticTransformerCfg
+{
+    std::string name = "synthetic";
+    int blocks = 32;
+    std::int64_t dModel = 4096;
+    std::int64_t heads = 32;
+    std::int64_t seq = 128;
+    std::int64_t vocab = 32000;
+    std::int64_t ffnHidden = 0;    ///< 0 = 4 * dModel
+    std::int64_t kvDim = 0;        ///< grouped-query attention width
+    bool llamaStyle = false;       ///< RMSNorm + gated FFN
+    int shapeOpsPerBlock = 12;
+};
+graph::Graph buildSyntheticTransformer(const SyntheticTransformerCfg &cfg,
+                                       Precision precision);
+/** @} */
+
+} // namespace flashmem::models
+
+#endif // FLASHMEM_MODELS_MODEL_ZOO_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ResNet-50 with inference-folded batch normalization (conv + ReLU at the
+ * lowered level), bottleneck blocks [3, 4, 6, 3].
+ */
+
+#include "models/model_zoo.hh"
+
+#include "models/blocks.hh"
+
+namespace flashmem::models {
+
+namespace {
+
+NodeId
+bottleneck(GraphBuilder &b, NodeId x, std::int64_t mid, std::int64_t out,
+           int stride, bool downsample, const std::string &prefix)
+{
+    auto h = b.conv2d(x, mid, 1, 1, 0, prefix + ".conv1", false);
+    h = b.activation(h, OpKind::ReLU, prefix + ".relu1");
+    h = b.conv2d(h, mid, 3, stride, 1, prefix + ".conv2", false);
+    h = b.activation(h, OpKind::ReLU, prefix + ".relu2");
+    h = b.conv2d(h, out, 1, 1, 0, prefix + ".conv3", false);
+
+    NodeId skip = x;
+    if (downsample)
+        skip = b.conv2d(x, out, 1, stride, 0, prefix + ".down", false);
+    auto sum = b.add(skip, h, prefix + ".add");
+    return b.activation(sum, OpKind::ReLU, prefix + ".relu3");
+}
+
+} // namespace
+
+graph::Graph
+buildResNet50(Precision precision)
+{
+    GraphBuilder b("resnet50", precision);
+    auto x = b.input({1, 3, 224, 224});
+    x = b.conv2d(x, 64, 7, 2, 3, "stem.conv", false);
+    x = b.activation(x, OpKind::ReLU, "stem.relu");
+    x = b.pooling(x, 3, 2, "stem.maxpool");
+
+    const int stage_blocks[4] = {3, 4, 6, 3};
+    const std::int64_t mids[4] = {64, 128, 256, 512};
+    for (int s = 0; s < 4; ++s) {
+        for (int i = 0; i < stage_blocks[s]; ++i) {
+            bool first = (i == 0);
+            int stride = (first && s > 0) ? 2 : 1;
+            x = bottleneck(b, x, mids[s], mids[s] * 4, stride, first,
+                           "layer" + std::to_string(s + 1) + "." +
+                               std::to_string(i));
+        }
+    }
+
+    x = b.pooling(x, 7, 7, "avgpool");
+    x = b.reshape(x, {1, 2048}, "flatten");
+    x = b.matmul(x, 1000, "fc");
+    x = b.softmax(x, "prob");
+    shapeOps(b, x, 17, "tail_shape");
+    return b.build();
+}
+
+} // namespace flashmem::models

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Segment-Anything-2 (SAM-2) image path: Hiera-L hierarchical encoder
+ * with windowed attention in the early high-resolution stages, plus a
+ * lightweight mask decoder.
+ *
+ * Input 512x512, patch stride 4; stages [2, 6, 36, 4] blocks at channels
+ * [144, 288, 576, 1152] with 2x token pooling between stages.
+ */
+
+#include "models/model_zoo.hh"
+
+#include "models/blocks.hh"
+
+namespace flashmem::models {
+
+graph::Graph
+buildSAM2(Precision precision)
+{
+    GraphBuilder b("sam2", precision);
+
+    const int stage_blocks[4] = {2, 6, 36, 4};
+    const std::int64_t channels[4] = {144, 288, 576, 1152};
+    const std::int64_t heads[4] = {2, 4, 8, 16};
+    // 512/4 = 128 tokens per side at stage 1, halved per stage.
+    const std::int64_t side[4] = {128, 64, 32, 16};
+    // Hiera windowed attention in the high-resolution stages (stage 3
+    // interleaves windowed and global blocks; modeled as a 256-token
+    // effective window); full global attention only in stage 4.
+    const std::int64_t window[4] = {64, 64, 256, 0};
+
+    auto img = b.input({1, 3, 512, 512});
+    auto x = b.conv2d(img, channels[0], 7, 4, 3, "patch_embed");
+    NodeId seq = b.reshape(x, {side[0] * side[0], channels[0]},
+                           "patch_flatten");
+    seq = b.biasAdd(seq, "pos_embed");
+    shapeOps(b, seq, 6, "stem_shape");
+
+    for (int s = 0; s < 4; ++s) {
+        if (s > 0) {
+            // Token pooling + channel expansion between stages.
+            seq = b.reshape(seq, {1, channels[s - 1], side[s - 1],
+                                  side[s - 1]},
+                            "stage" + std::to_string(s) + ".to_map");
+            seq = b.pooling(seq, 2, 2, "stage" + std::to_string(s) +
+                                           ".pool");
+            seq = b.conv2d(seq, channels[s], 1, 1, 0,
+                           "stage" + std::to_string(s) + ".proj", false);
+            seq = b.reshape(seq, {side[s] * side[s], channels[s]},
+                            "stage" + std::to_string(s) + ".to_seq");
+        }
+        TransformerBlockCfg blk;
+        blk.attn.dModel = channels[s];
+        blk.attn.heads = heads[s];
+        blk.attn.tokens = side[s] * side[s];
+        blk.attn.windowTokens = window[s];
+        blk.ffnMult = 4;
+        blk.shapeOps = 11;
+        for (int i = 0; i < stage_blocks[s]; ++i) {
+            seq = transformerBlock(b, seq, blk,
+                                   "stage" + std::to_string(s) + ".blk." +
+                                       std::to_string(i));
+        }
+    }
+
+    // Mask decoder: two-way attention distilled to projections + upsample
+    // convolutions producing mask logits.
+    auto dec = b.matmul(seq, 256, "decoder.proj");
+    dec = b.layerNorm(dec, "decoder.ln");
+    dec = b.reshape(dec, {1, 256, 16, 16}, "decoder.to_map");
+    dec = b.upsample(dec, 2, "decoder.up1");
+    dec = b.conv2d(dec, 128, 3, 1, 1, "decoder.conv1");
+    dec = b.activation(dec, OpKind::GeLU, "decoder.act1");
+    dec = b.upsample(dec, 2, "decoder.up2");
+    dec = b.conv2d(dec, 64, 3, 1, 1, "decoder.conv2");
+    dec = b.activation(dec, OpKind::GeLU, "decoder.act2");
+    dec = b.conv2d(dec, 1, 1, 1, 0, "decoder.mask_head", false);
+    dec = b.activation(dec, OpKind::Sigmoid, "decoder.prob");
+    shapeOps(b, dec, 7, "decoder_shape");
+    return b.build();
+}
+
+} // namespace flashmem::models

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Stable-Diffusion UNet (860M-parameter class) at 32x32 latent
+ * resolution: residual blocks with group norm, spatial transformers with
+ * self + text cross-attention, down/up sampling path with skips.
+ */
+
+#include "models/model_zoo.hh"
+
+#include "models/blocks.hh"
+
+namespace flashmem::models {
+
+namespace {
+
+constexpr std::int64_t kContextTokens = 77;  // CLIP text tokens
+constexpr std::int64_t kContextDim = 768;
+
+/** SD spatial transformer: self-attn + cross-attn + GEGLU FFN. */
+NodeId
+spatialTransformer(GraphBuilder &b, NodeId x, NodeId context,
+                   std::int64_t channels, std::int64_t tokens,
+                   const std::string &prefix)
+{
+    auto h = b.groupNorm(x, prefix + ".gn");
+    h = b.conv2d(h, channels, 1, 1, 0, prefix + ".proj_in", false);
+    std::int64_t side = b.shapeOf(h).dim(2);
+    auto seq = b.reshape(h, {tokens, channels}, prefix + ".to_seq");
+
+    // Self-attention.
+    AttentionCfg self_cfg;
+    self_cfg.dModel = channels;
+    self_cfg.heads = 8;
+    self_cfg.tokens = tokens;
+    auto norm1 = b.layerNorm(seq, prefix + ".ln1");
+    auto sa = attention(b, norm1, graph::kInvalidNode, self_cfg,
+                        prefix + ".self");
+    seq = b.add(seq, sa, prefix + ".res1");
+
+    // Cross-attention against the text context.
+    AttentionCfg cross_cfg = self_cfg;
+    cross_cfg.kvTokens = kContextTokens;
+    auto norm2 = b.layerNorm(seq, prefix + ".ln2");
+    auto ca = attention(b, norm2, context, cross_cfg, prefix + ".cross");
+    seq = b.add(seq, ca, prefix + ".res2");
+
+    // GEGLU feed-forward.
+    auto norm3 = b.layerNorm(seq, prefix + ".ln3");
+    auto gate = b.matmul(norm3, channels * 4, prefix + ".ff_gate", false);
+    gate = b.activation(gate, OpKind::GeLU, prefix + ".ff_act");
+    auto up = b.matmul(norm3, channels * 4, prefix + ".ff_up", false);
+    auto ff = b.mul(gate, up, prefix + ".ff_mul");
+    ff = b.matmul(ff, channels, prefix + ".ff_down");
+    seq = b.add(seq, ff, prefix + ".res3");
+    shapeOps(b, seq, 16, prefix + ".shape");
+
+    auto map = b.reshape(seq, {1, channels, side, side},
+                         prefix + ".to_map");
+    map = b.conv2d(map, channels, 1, 1, 0, prefix + ".proj_out", false);
+    return b.add(x, map, prefix + ".res_out");
+}
+
+} // namespace
+
+graph::Graph
+buildSDUNet(Precision precision)
+{
+    GraphBuilder b("sd_unet", precision);
+    const std::int64_t latent = 32;
+    const std::int64_t ch[4] = {320, 640, 1280, 1280};
+    const std::int64_t sides[4] = {latent, latent / 2, latent / 4,
+                                   latent / 8};
+
+    // Text conditioning enters as a precomputed CLIP embedding.
+    auto context = b.input({kContextTokens, kContextDim}, "text_context");
+    auto z = b.input({1, 4, latent, latent}, "latent");
+    auto x = b.conv2d(z, ch[0], 3, 1, 1, "conv_in");
+
+    std::vector<NodeId> skips;
+    skips.push_back(x);
+    // Down path: 2 res blocks (+ transformer in first 3 levels), then
+    // stride-2 conv downsample.
+    for (int lvl = 0; lvl < 4; ++lvl) {
+        std::string p = "down." + std::to_string(lvl);
+        for (int i = 0; i < 2; ++i) {
+            x = sdResBlock(b, x, ch[lvl],
+                           p + ".res" + std::to_string(i));
+            if (lvl < 3) {
+                x = spatialTransformer(b, x, context, ch[lvl],
+                                       sides[lvl] * sides[lvl],
+                                       p + ".attn" + std::to_string(i));
+            }
+            skips.push_back(x);
+        }
+        if (lvl < 3) {
+            x = b.conv2d(x, ch[lvl], 3, 2, 1, p + ".downsample");
+            skips.push_back(x);
+        }
+    }
+
+    // Middle: res + transformer + res at the bottleneck resolution.
+    x = sdResBlock(b, x, ch[3], "mid.res0");
+    x = spatialTransformer(b, x, context, ch[3], sides[3] * sides[3],
+                           "mid.attn");
+    x = sdResBlock(b, x, ch[3], "mid.res1");
+
+    // Up path: 3 res blocks per level with skip concats (+ transformer),
+    // then upsample.
+    for (int lvl = 3; lvl >= 0; --lvl) {
+        std::string p = "up." + std::to_string(lvl);
+        for (int i = 0; i < 3; ++i) {
+            NodeId skip = skips.back();
+            skips.pop_back();
+            std::int64_t side = b.shapeOf(x).dim(2);
+            std::int64_t skip_ch = b.shapeOf(skip).dim(1);
+            auto cat = b.concat({x, skip},
+                                {1, b.shapeOf(x).dim(1) + skip_ch, side,
+                                 side},
+                                p + ".cat" + std::to_string(i));
+            x = sdResBlock(b, cat, ch[lvl],
+                           p + ".res" + std::to_string(i));
+            if (lvl < 3) {
+                x = spatialTransformer(b, x, context, ch[lvl],
+                                       side * side,
+                                       p + ".attn" + std::to_string(i));
+            }
+        }
+        if (lvl > 0)
+            x = b.upsample(x, 2, p + ".upsample");
+    }
+
+    x = b.groupNorm(x, "out.gn");
+    x = b.activation(x, OpKind::SiLU, "out.silu");
+    x = b.conv2d(x, 4, 3, 1, 1, "conv_out");
+    shapeOps(b, x, 17, "tail_shape");
+    return b.build();
+}
+
+} // namespace flashmem::models

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Synthetic large transformers for the solver-runtime study (paper
+ * Table 4): ViT-8B and Llama2-13B / 70B. Only the graph structure and
+ * weight sizing matter for LC-OPG scheduling, not trained weights.
+ */
+
+#include "models/model_zoo.hh"
+
+#include "models/blocks.hh"
+
+namespace flashmem::models {
+
+graph::Graph
+buildSyntheticTransformer(const SyntheticTransformerCfg &cfg,
+                          Precision precision)
+{
+    GraphBuilder b(cfg.name, precision);
+
+    auto x = b.embedding(cfg.seq, cfg.vocab, cfg.dModel, "tok_embed");
+    shapeOps(b, x, 4, "stem_shape");
+
+    TransformerBlockCfg blk;
+    blk.attn.dModel = cfg.dModel;
+    blk.attn.heads = cfg.heads;
+    blk.attn.tokens = cfg.seq;
+    blk.attn.causalMask = true;
+    blk.attn.kvDim = cfg.kvDim;
+    blk.ffnHidden = cfg.ffnHidden;
+    blk.useRmsNorm = cfg.llamaStyle;
+    blk.gatedFfn = cfg.llamaStyle;
+    blk.ffnActivation = cfg.llamaStyle ? OpKind::SiLU : OpKind::GeLU;
+    blk.shapeOps = cfg.shapeOpsPerBlock;
+
+    for (int i = 0; i < cfg.blocks; ++i)
+        x = transformerBlock(b, x, blk, "h." + std::to_string(i));
+
+    x = cfg.llamaStyle ? b.rmsNorm(x, "ln_f") : b.layerNorm(x, "ln_f");
+    b.matmul(x, cfg.vocab, "lm_head", false);
+    return b.build();
+}
+
+} // namespace flashmem::models

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Vision transformers: ViT (14 encoder blocks, d=768) and DeepViT
+ * (27 blocks with re-attention).
+ */
+
+#include "models/model_zoo.hh"
+
+#include "models/blocks.hh"
+
+namespace flashmem::models {
+
+namespace {
+
+/**
+ * Shared ViT-style encoder: patchify + transformer stack + pooled head.
+ */
+graph::Graph
+buildVitFamily(const std::string &name, int blocks, int shape_ops,
+               bool re_attention, Precision precision)
+{
+    const std::int64_t d = 768;
+    const std::int64_t tokens = 197; // 14x14 patches + [CLS], 224x224/16
+
+    GraphBuilder b(name, precision);
+    auto img = b.input({1, 3, 224, 224});
+    auto patches = b.conv2d(img, d, 16, 16, 0, "patch_embed");
+    auto seq = b.reshape(patches, {196, d}, "patch_flatten");
+    seq = b.concat({seq}, {tokens, d}, "cls_concat");
+    seq = b.biasAdd(seq, "pos_embed");
+    shapeOps(b, seq, re_attention ? 10 : 13, "stem_shape");
+
+    TransformerBlockCfg blk;
+    blk.attn.dModel = d;
+    blk.attn.heads = 12;
+    blk.attn.tokens = tokens;
+    blk.ffnMult = 4;
+    blk.shapeOps = shape_ops;
+    blk.reAttention = re_attention;
+
+    NodeId x = seq;
+    for (int i = 0; i < blocks; ++i)
+        x = transformerBlock(b, x, blk, "blk." + std::to_string(i));
+
+    x = b.layerNorm(x, "ln_f");
+    x = b.slice(x, {1, d}, "cls_token");
+    x = b.matmul(x, 1000, "head");
+    return b.build();
+}
+
+} // namespace
+
+graph::Graph
+buildViT(Precision precision)
+{
+    return buildVitFamily("vit", 14, 34, false, precision);
+}
+
+graph::Graph
+buildDeepViT(Precision precision)
+{
+    return buildVitFamily("deepvit", 27, 26, true, precision);
+}
+
+} // namespace flashmem::models

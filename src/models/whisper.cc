@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Whisper-Medium-class encoder-decoder speech recognizer: mel-spectrogram
+ * conv frontend, 11 encoder blocks, 11 decoder blocks with causal self +
+ * cross attention (d=1024), tied output projection.
+ */
+
+#include "models/model_zoo.hh"
+
+#include "models/blocks.hh"
+
+namespace flashmem::models {
+
+namespace {
+
+constexpr std::int64_t kD = 1024;
+constexpr std::int64_t kHeads = 16;
+constexpr std::int64_t kEncBlocks = 11;
+constexpr std::int64_t kDecBlocks = 10;
+constexpr std::int64_t kMelBins = 80;
+constexpr std::int64_t kFrames = 480;        // ~4.8 s of audio
+constexpr std::int64_t kEncTokens = kFrames / 2;
+constexpr std::int64_t kDecTokens = 64;
+constexpr std::int64_t kVocab = 51865;
+
+/** Decoder block: causal self-attention + cross-attention + FFN. */
+NodeId
+decoderBlock(GraphBuilder &b, NodeId x, NodeId enc_out,
+             const std::string &prefix)
+{
+    AttentionCfg self_cfg;
+    self_cfg.dModel = kD;
+    self_cfg.heads = kHeads;
+    self_cfg.tokens = kDecTokens;
+    self_cfg.causalMask = true;
+
+    auto norm1 = b.layerNorm(x, prefix + ".ln1");
+    auto sa = attention(b, norm1, graph::kInvalidNode, self_cfg,
+                        prefix + ".self");
+    x = b.add(x, sa, prefix + ".res1");
+
+    AttentionCfg cross_cfg;
+    cross_cfg.dModel = kD;
+    cross_cfg.heads = kHeads;
+    cross_cfg.tokens = kDecTokens;
+    cross_cfg.kvTokens = kEncTokens;
+
+    auto norm2 = b.layerNorm(x, prefix + ".ln2");
+    auto ca = attention(b, norm2, enc_out, cross_cfg, prefix + ".cross");
+    x = b.add(x, ca, prefix + ".res2");
+
+    auto norm3 = b.layerNorm(x, prefix + ".ln3");
+    auto h = b.matmul(norm3, 4 * kD, prefix + ".fc1");
+    h = b.activation(h, OpKind::GeLU, prefix + ".ffn_act");
+    h = b.matmul(h, kD, prefix + ".fc2");
+    x = b.add(x, h, prefix + ".res3");
+    shapeOps(b, x, 84, prefix + ".shape");
+    return x;
+}
+
+} // namespace
+
+graph::Graph
+buildWhisperMedium(Precision precision)
+{
+    GraphBuilder b("whisper_medium", precision);
+
+    // Conv frontend over the mel spectrogram (stride-2 second conv).
+    auto mel = b.input({1, kMelBins, 1, kFrames}, "mel");
+    auto h = b.conv2d(mel, kD, 3, 1, 1, "enc.conv1");
+    h = b.activation(h, OpKind::GeLU, "enc.act1");
+    h = b.conv2d(h, kD, 3, 2, 1, "enc.conv2");
+    h = b.activation(h, OpKind::GeLU, "enc.act2");
+    auto enc = b.reshape(h, {kEncTokens, kD}, "enc.to_seq");
+    enc = b.biasAdd(enc, "enc.pos_embed");
+
+    TransformerBlockCfg enc_blk;
+    enc_blk.attn.dModel = kD;
+    enc_blk.attn.heads = kHeads;
+    enc_blk.attn.tokens = kEncTokens;
+    enc_blk.ffnMult = 4;
+    enc_blk.shapeOps = 43;
+    for (int i = 0; i < kEncBlocks; ++i)
+        enc = transformerBlock(b, enc, enc_blk, "enc." + std::to_string(i));
+    enc = b.layerNorm(enc, "enc.ln_post");
+
+    auto tok_embed = b.embedding(kDecTokens, kVocab, kD, "dec.tok_embed");
+    auto dec = b.biasAdd(tok_embed, "dec.pos_embed");
+    for (int i = 0; i < kDecBlocks; ++i)
+        dec = decoderBlock(b, dec, enc, "dec." + std::to_string(i));
+    dec = b.layerNorm(dec, "dec.ln_f");
+    // Whisper ties the output projection to the token embedding, so the
+    // logits matmul reuses dec.tok_embed's weight (no new parameters).
+    dec = b.attnMatmul(dec, tok_embed, {kDecTokens, kVocab},
+                       static_cast<std::uint64_t>(kDecTokens) * kD *
+                           kVocab,
+                       "logits");
+    shapeOps(b, dec, 8, "tail_shape");
+    return b.build();
+}
+
+} // namespace flashmem::models

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * FIFO multi-DNN scheduling (paper Figure 1c / Section 5.3): requests
+ * execute in arrival order on one shared device; each model swaps in,
+ * runs, and swaps out. Under FlashMem the swap-in is the streamed
+ * overlap plan; under preloading frameworks it is a full cold-start
+ * init — the repeated-load overhead the paper targets.
+ */
+
+#ifndef FLASHMEM_MULTIDNN_FIFO_SCHEDULER_HH
+#define FLASHMEM_MULTIDNN_FIFO_SCHEDULER_HH
+
+#include <map>
+#include <vector>
+
+#include "baselines/preload_framework.hh"
+#include "core/flashmem.hh"
+#include "multidnn/workload.hh"
+
+namespace flashmem::multidnn {
+
+/** Outcome of draining one FIFO queue. */
+struct FifoOutcome
+{
+    std::vector<core::RunResult> runs;
+    SimTime makespan = 0;        ///< last completion
+    Bytes peakMemory = 0;        ///< peak over the whole queue
+    double avgMemoryBytes = 0.0; ///< time-weighted average
+    double energyJoules = 0.0;
+
+    /** Mean integrated latency across requests. */
+    SimTime meanLatency() const;
+};
+
+/** Drains FIFO queues against one simulator. */
+class FifoScheduler
+{
+  public:
+    /**
+     * Run the queue under FlashMem. Models are compiled once and
+     * reused across repeated requests (the offline plan is per-model).
+     */
+    static FifoOutcome runFlashMem(const core::FlashMem &fm,
+                                   const std::vector<ModelRequest> &queue,
+                                   Precision precision = Precision::FP16);
+
+    /** Run the queue under a preloading baseline framework. */
+    static FifoOutcome runPreload(baselines::FrameworkId framework,
+                                  const gpusim::DeviceProfile &dev,
+                                  const std::vector<ModelRequest> &queue,
+                                  Precision precision = Precision::FP16);
+
+    /** Memory trace of the last run*() call (for Figure 6 plots). */
+    static const TimeSeries &lastTrace();
+};
+
+} // namespace flashmem::multidnn
+
+#endif // FLASHMEM_MULTIDNN_FIFO_SCHEDULER_HH

@@ -1,0 +1,44 @@
+#include "multidnn/workload.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace flashmem::multidnn {
+
+std::vector<ModelRequest>
+interleavedWorkload(const std::vector<models::ModelId> &models,
+                    int iterations, SimTime gap, std::uint64_t seed)
+{
+    FM_ASSERT(!models.empty() && iterations > 0, "empty workload");
+    Rng rng(seed);
+    std::vector<ModelRequest> out;
+    SimTime t = 0;
+    for (int it = 0; it < iterations; ++it) {
+        // Fisher-Yates round order.
+        std::vector<models::ModelId> round = models;
+        for (std::size_t i = round.size(); i > 1; --i) {
+            auto j = static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<std::int64_t>(i) - 1));
+            std::swap(round[i - 1], round[j]);
+        }
+        for (auto m : round) {
+            out.push_back({m, t});
+            t += gap;
+        }
+    }
+    return out;
+}
+
+std::vector<ModelRequest>
+chainWorkload(const std::vector<models::ModelId> &models, SimTime gap)
+{
+    std::vector<ModelRequest> out;
+    SimTime t = 0;
+    for (auto m : models) {
+        out.push_back({m, t});
+        t += gap;
+    }
+    return out;
+}
+
+} // namespace flashmem::multidnn

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Multi-DNN workload generation (paper Section 2.2 / Figure 6): FIFO
+ * queues of model invocations as produced by AR pipelines, translators,
+ * and similar applications that chain several distinct models.
+ */
+
+#ifndef FLASHMEM_MULTIDNN_WORKLOAD_HH
+#define FLASHMEM_MULTIDNN_WORKLOAD_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "models/model_zoo.hh"
+
+namespace flashmem::multidnn {
+
+/** One queued inference request. */
+struct ModelRequest
+{
+    models::ModelId model;
+    SimTime arrival = 0;
+};
+
+/**
+ * Figure-6-style workload: @p iterations rounds over @p models in a
+ * deterministic pseudo-random order (seeded), with @p gap between
+ * request arrivals.
+ */
+std::vector<ModelRequest> interleavedWorkload(
+    const std::vector<models::ModelId> &models, int iterations,
+    SimTime gap, std::uint64_t seed);
+
+/** Simple chain: each model requested once, in order. */
+std::vector<ModelRequest> chainWorkload(
+    const std::vector<models::ModelId> &models, SimTime gap = 0);
+
+} // namespace flashmem::multidnn
+
+#endif // FLASHMEM_MULTIDNN_WORKLOAD_HH

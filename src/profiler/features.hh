@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Kernel feature extraction for the latency regressor.
+ *
+ * Mirrors paper Figure 4's feature set: global/local work size, loop
+ * tiling proxy, compute intensity, operator type, plus the extra-load
+ * ratio whose response the model must learn.
+ */
+
+#ifndef FLASHMEM_PROFILER_FEATURES_HH
+#define FLASHMEM_PROFILER_FEATURES_HH
+
+#include <string>
+#include <vector>
+
+#include "gpusim/kernel.hh"
+
+namespace flashmem::profiler {
+
+/** Names of the feature columns, aligned with kernelFeatures(). */
+const std::vector<std::string> &kernelFeatureNames();
+
+/**
+ * Build the feature row for @p spec streaming @p extra_ratio times its
+ * input bytes inline.
+ */
+std::vector<double> kernelFeatures(const gpusim::KernelSpec &spec,
+                                   double extra_ratio);
+
+} // namespace flashmem::profiler
+
+#endif // FLASHMEM_PROFILER_FEATURES_HH

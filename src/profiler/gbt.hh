@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Gradient-boosted regression trees, from scratch.
+ *
+ * The paper trains an XGBoost regressor on profiled kernels to predict
+ * latency under varying inline-load volume (Section 4.2, Figure 4).
+ * This is a dependency-free equivalent: squared-loss gradient boosting
+ * over depth-limited CART trees with variance-reduction splits.
+ */
+
+#ifndef FLASHMEM_PROFILER_GBT_HH
+#define FLASHMEM_PROFILER_GBT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace flashmem::profiler {
+
+/** Boosting hyper-parameters. */
+struct GbtParams
+{
+    int trees = 120;
+    int maxDepth = 4;
+    double learningRate = 0.12;
+    int minSamplesLeaf = 3;
+    /** Row subsample fraction per tree (stochastic boosting). */
+    double subsample = 0.85;
+    std::uint64_t seed = 0x5eed;
+};
+
+/** Squared-loss gradient-boosted tree ensemble. */
+class GbtRegressor
+{
+  public:
+    explicit GbtRegressor(GbtParams params = {}) : params_(params) {}
+
+    /**
+     * Fit on a dense feature matrix (row-major samples). All rows must
+     * share the same dimensionality.
+     */
+    void fit(const std::vector<std::vector<double>> &x,
+             const std::vector<double> &y);
+
+    /** Predict one sample; fatal if called before fit(). */
+    double predict(const std::vector<double> &x) const;
+
+    bool trained() const { return trained_; }
+    std::size_t treeCount() const { return trees_.size(); }
+
+    /** Root-mean-square error over a labelled set. */
+    double rmse(const std::vector<std::vector<double>> &x,
+                const std::vector<double> &y) const;
+
+    /** Coefficient of determination (R^2) over a labelled set. */
+    double r2(const std::vector<std::vector<double>> &x,
+              const std::vector<double> &y) const;
+
+  private:
+    struct Node
+    {
+        bool leaf = true;
+        int feature = -1;
+        double threshold = 0.0;
+        double value = 0.0;
+        int left = -1;
+        int right = -1;
+    };
+
+    struct Tree
+    {
+        std::vector<Node> nodes;
+        double predict(const std::vector<double> &x) const;
+    };
+
+    /** Recursively grow one CART tree over the given sample indices. */
+    int growNode(Tree &tree, const std::vector<std::vector<double>> &x,
+                 const std::vector<double> &residual,
+                 std::vector<std::size_t> &indices, int depth);
+
+    GbtParams params_;
+    bool trained_ = false;
+    double base_prediction_ = 0.0;
+    std::vector<Tree> trees_;
+};
+
+} // namespace flashmem::profiler
+
+#endif // FLASHMEM_PROFILER_GBT_HH

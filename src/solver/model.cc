@@ -1,0 +1,77 @@
+#include "solver/model.hh"
+
+#include "common/logging.hh"
+
+namespace flashmem::solver {
+
+VarId
+CpModel::newIntVar(std::int64_t lb, std::int64_t ub, std::string name)
+{
+    FM_ASSERT(lb <= ub, "empty initial domain for '", name, "': [", lb,
+              ", ", ub, "]");
+    lbs_.push_back(lb);
+    ubs_.push_back(ub);
+    names_.push_back(std::move(name));
+    return static_cast<VarId>(lbs_.size()) - 1;
+}
+
+void
+CpModel::checkVar(VarId v) const
+{
+    FM_ASSERT(v >= 0 && v < static_cast<VarId>(lbs_.size()),
+              "bad variable id ", v);
+}
+
+void
+CpModel::checkTerms(const std::vector<LinearTerm> &terms) const
+{
+    for (const auto &t : terms)
+        checkVar(t.var);
+}
+
+void
+CpModel::addLinear(std::vector<LinearTerm> terms, std::int64_t lo,
+                   std::int64_t hi)
+{
+    FM_ASSERT(lo <= hi, "addLinear with lo > hi");
+    checkTerms(terms);
+    constraints_.push_back({std::move(terms), lo, hi});
+}
+
+void
+CpModel::addLessOrEqual(std::vector<LinearTerm> terms, std::int64_t hi)
+{
+    addLinear(std::move(terms),
+              std::numeric_limits<std::int64_t>::min() / 4, hi);
+}
+
+void
+CpModel::addGreaterOrEqual(std::vector<LinearTerm> terms, std::int64_t lo)
+{
+    addLinear(std::move(terms), lo,
+              std::numeric_limits<std::int64_t>::max() / 4);
+}
+
+void
+CpModel::addEquality(std::vector<LinearTerm> terms, std::int64_t value)
+{
+    addLinear(std::move(terms), value, value);
+}
+
+void
+CpModel::addImplicationGeLe(VarId x, std::int64_t x_threshold, VarId y,
+                            std::int64_t y_bound)
+{
+    checkVar(x);
+    checkVar(y);
+    implications_.push_back({x, x_threshold, y, y_bound});
+}
+
+void
+CpModel::minimize(std::vector<LinearTerm> objective)
+{
+    checkTerms(objective);
+    objective_ = std::move(objective);
+}
+
+} // namespace flashmem::solver

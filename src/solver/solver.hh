@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Branch-and-bound CP solver with interval (bounds) propagation.
+ *
+ * Search: first-fail variable selection, objective-aware value ordering,
+ * incumbent-driven bounding, wall-clock + decision limits. Statuses
+ * mirror CP-SAT: Optimal (search exhausted with incumbent), Feasible
+ * (limit hit with incumbent), Infeasible (exhausted without incumbent),
+ * Unknown (limit hit without incumbent).
+ */
+
+#ifndef FLASHMEM_SOLVER_SOLVER_HH
+#define FLASHMEM_SOLVER_SOLVER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "solver/model.hh"
+
+namespace flashmem::solver {
+
+/** Terminal state of one solve() call. */
+enum class SolveStatus { Optimal, Feasible, Infeasible, Unknown };
+
+/** Human-readable status name ("OPTIMAL", "FEASIBLE", ...). */
+const char *solveStatusName(SolveStatus status);
+
+/** Search limits and tunables. */
+struct SolverParams
+{
+    double timeLimitSeconds = 150.0;  ///< paper Table 4 uses 150 s
+    std::uint64_t maxDecisions = 0;   ///< 0 = unlimited
+    /** Maximum propagation sweeps per node before giving up fixpoint. */
+    int maxPropagationPasses = 16;
+};
+
+/** Result of a solve: status, assignment, objective, search stats. */
+struct SolveResult
+{
+    SolveStatus status = SolveStatus::Unknown;
+    std::vector<std::int64_t> values;
+    std::int64_t objective = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t backtracks = 0;
+    double wallSeconds = 0.0;
+
+    bool
+    feasible() const
+    {
+        return status == SolveStatus::Optimal ||
+               status == SolveStatus::Feasible;
+    }
+
+    std::int64_t value(VarId v) const { return values.at(v); }
+};
+
+/** DFS branch-and-bound solver over a CpModel. */
+class CpSolver
+{
+  public:
+    explicit CpSolver(SolverParams params = {}) : params_(params) {}
+
+    /**
+     * Solve @p model, optionally warm-starting from @p hint (a full
+     * assignment used as the initial incumbent if it is feasible).
+     */
+    SolveResult solve(const CpModel &model,
+                      const std::vector<std::int64_t> *hint = nullptr);
+
+  private:
+    SolverParams params_;
+};
+
+} // namespace flashmem::solver
+
+#endif // FLASHMEM_SOLVER_SOLVER_HH

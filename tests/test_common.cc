@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for src/common: time/size units, RNG determinism, statistics
+ * accumulators, time series, and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+namespace flashmem {
+namespace {
+
+TEST(Types, TimeUnitRoundTrip)
+{
+    EXPECT_EQ(milliseconds(1.0), 1'000'000);
+    EXPECT_EQ(microseconds(1.0), 1'000);
+    EXPECT_EQ(seconds(2.0), 2'000'000'000);
+    EXPECT_DOUBLE_EQ(toMilliseconds(milliseconds(123.0)), 123.0);
+    EXPECT_DOUBLE_EQ(toSeconds(seconds(4.0)), 4.0);
+}
+
+TEST(Types, ByteUnits)
+{
+    EXPECT_EQ(kib(1), 1024u);
+    EXPECT_EQ(mib(1), 1024u * 1024u);
+    EXPECT_EQ(gib(1), 1024ull * 1024 * 1024);
+    EXPECT_DOUBLE_EQ(toMiB(mib(512)), 512.0);
+    EXPECT_DOUBLE_EQ(toGiB(gib(3)), 3.0);
+}
+
+TEST(Types, BandwidthTransferTime)
+{
+    auto bw = Bandwidth::gbps(1.0); // 1 GB/s
+    EXPECT_EQ(bw.transferTime(1'000'000'000ull), seconds(1.0));
+    // Rounds up: 1 byte at 1 GB/s is 1 ns exactly.
+    EXPECT_EQ(bw.transferTime(1), 1);
+    // Zero bandwidth means "never".
+    EXPECT_EQ(Bandwidth{0.0}.transferTime(1), kTimeNever);
+}
+
+TEST(Types, BandwidthNeverReturnsZeroForNonzeroBytes)
+{
+    auto bw = Bandwidth::gbps(560.0); // fastest channel in the model
+    EXPECT_GT(bw.transferTime(1), 0);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = rng.uniformInt(3, 8);
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 8);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 8);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    RunningStat st;
+    for (int i = 0; i < 50000; ++i)
+        st.add(rng.gaussian(10.0, 2.0));
+    EXPECT_NEAR(st.mean(), 10.0, 0.1);
+    EXPECT_NEAR(st.stddev(), 2.0, 0.1);
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat st;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        st.add(v);
+    EXPECT_EQ(st.count(), 8u);
+    EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(st.min(), 2.0);
+    EXPECT_DOUBLE_EQ(st.max(), 9.0);
+    EXPECT_NEAR(st.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(st.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat st;
+    EXPECT_EQ(st.count(), 0u);
+    EXPECT_DOUBLE_EQ(st.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+}
+
+TEST(Geomean, MatchesClosedForm)
+{
+    EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(Geomean, IgnoresNonPositive)
+{
+    EXPECT_DOUBLE_EQ(geomean({2.0, 8.0, 0.0, -5.0}), 4.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(TimeSeries, PeakAndAverage)
+{
+    TimeSeries ts;
+    ts.record(0, 100.0);
+    ts.record(milliseconds(10), 300.0);
+    ts.record(milliseconds(20), 0.0);
+    EXPECT_DOUBLE_EQ(ts.peak(), 300.0);
+    // 100 for 10ms, 300 for 10ms => avg 200 over [0, 20ms].
+    EXPECT_DOUBLE_EQ(ts.timeWeightedAverage(0, milliseconds(20)), 200.0);
+}
+
+TEST(TimeSeries, ValueAt)
+{
+    TimeSeries ts;
+    ts.record(10, 1.0);
+    ts.record(20, 2.0);
+    EXPECT_DOUBLE_EQ(ts.valueAt(5), 0.0);
+    EXPECT_DOUBLE_EQ(ts.valueAt(10), 1.0);
+    EXPECT_DOUBLE_EQ(ts.valueAt(15), 1.0);
+    EXPECT_DOUBLE_EQ(ts.valueAt(25), 2.0);
+}
+
+TEST(TimeSeries, SameTimestampLastWriteWins)
+{
+    TimeSeries ts;
+    ts.record(10, 1.0);
+    ts.record(10, 5.0);
+    EXPECT_DOUBLE_EQ(ts.valueAt(10), 5.0);
+    EXPECT_EQ(ts.points().size(), 1u);
+}
+
+TEST(TimeSeries, WindowedAverageSubrange)
+{
+    TimeSeries ts;
+    ts.record(0, 10.0);
+    ts.record(100, 20.0);
+    ts.record(200, 30.0);
+    EXPECT_DOUBLE_EQ(ts.timeWeightedAverage(100, 200), 20.0);
+    EXPECT_DOUBLE_EQ(ts.timeWeightedAverage(150, 250), 25.0);
+}
+
+TEST(StrUtil, Formatting)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatWithCommas(1234567), "1,234,567");
+    EXPECT_EQ(formatWithCommas(-1234), "-1,234");
+    EXPECT_EQ(formatBytes(mib(1.5)), "1.5 MB");
+    EXPECT_EQ(formatRatio(8.44), "8.4x");
+    EXPECT_EQ(formatMs(milliseconds(3212)), "3,212 ms");
+    EXPECT_EQ(formatMs(microseconds(500)), "500.0 us");
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"Model", "Latency"});
+    t.addRow({"ViT", "347"});
+    t.addRow({"GPTN-1.3B", "3086"});
+    std::string s = t.toString();
+    EXPECT_NE(s.find("Model"), std::string::npos);
+    EXPECT_NE(s.find("GPTN-1.3B"), std::string::npos);
+    // All lines share the same width.
+    std::size_t first_nl = s.find('\n');
+    std::size_t width = first_nl;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t nl = s.find('\n', pos);
+        if (nl == std::string::npos)
+            break;
+        EXPECT_EQ(nl - pos, width);
+        pos = nl + 1;
+    }
+}
+
+TEST(Table, PadsShortRows)
+{
+    Table t({"A", "B", "C"});
+    t.addRow({"x"});
+    EXPECT_EQ(t.rowCount(), 1u);
+    EXPECT_NE(t.toString().find("x"), std::string::npos);
+}
+
+} // namespace
+} // namespace flashmem

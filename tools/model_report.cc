@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Developer utility: print built vs paper Table-6 characteristics for
+ * every zoo model (params, MACs, lowered layer count, weight tensors).
+ */
+
+#include <iostream>
+
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "models/model_zoo.hh"
+
+int
+main()
+{
+    using namespace flashmem;
+    Table t({"Model", "Params(M)", "paper", "MACs(G)", "paper", "Layers",
+             "paper", "Weights", "Bytes"});
+    for (const auto &spec : models::modelZoo()) {
+        auto g = models::buildModel(spec.id);
+        t.addRow({spec.abbr,
+                  formatDouble(g.totalParams() / 1e6, 1),
+                  formatDouble(spec.paperParamsM, 1),
+                  formatDouble(g.totalMacs() / 1e9, 1),
+                  formatDouble(spec.paperMacsG, 1),
+                  std::to_string(g.layerCount()),
+                  std::to_string(spec.paperLayers),
+                  std::to_string(g.weightCount()),
+                  formatBytes(g.totalWeightBytes())});
+    }
+    t.print(std::cout);
+    return 0;
+}
