@@ -53,6 +53,9 @@ main()
 
         double prev_speedup = 0.0;
         for (const auto &step : steps) {
+            // Equal footing: no warm starts leaking between ablation
+            // arms (budget-truncated plans are history-dependent).
+            core::PlanMemo::global().clear();
             core::FlashMem fm(dev, step.opt);
             auto r = runFlash(fm, g);
             double speedup =

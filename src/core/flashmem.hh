@@ -55,9 +55,16 @@ struct CompiledModel
     graph::Graph fusedGraph;
     OverlapPlan plan;
     std::vector<RewrittenKernel> kernels;
+    /** Stats of the final planning round (the plan that shipped). */
     PlanStats stats;
     int fusionRounds = 0;
     int groupsSplit = 0;
+    /** @name Aggregates across all adaptive-fusion rounds. @{ */
+    double totalSolveSeconds = 0.0;
+    std::uint64_t totalSolverDecisions = 0;
+    std::uint64_t planMemoHits = 0;   ///< warm starts reused from memo
+    std::uint64_t planMemoStores = 0;
+    /** @} */
 
     /** Fraction of weight bytes streamed rather than preloaded. */
     double

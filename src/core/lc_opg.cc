@@ -295,13 +295,34 @@ LcOpgPlanner::planWindow(graph::NodeId start, graph::NodeId end,
             m.minimize(objective);
             result.buildSeconds += secondsSince(build_t0);
 
+            // Plan memo: a previously solved window with this exact
+            // model reuses its incumbent as the warm start, which is
+            // at least as good as the greedy hint. Validation guards
+            // against fingerprint collisions: an entry that does not
+            // satisfy this model is ignored, keeping the greedy hint.
+            std::uint64_t fp = 0;
+            if (params_.planMemo) {
+                fp = m.fingerprint();
+                auto cached = PlanMemo::global().lookup(fp);
+                if (cached && m.satisfiedBy(*cached)) {
+                    hint = std::move(*cached);
+                    ++result.memoHits;
+                }
+            }
+
             solver::SolverParams sp;
             sp.timeLimitSeconds = params_.solverTimePerWindow;
             sp.maxDecisions = params_.solverDecisionsPerWindow;
+            sp.engine = params_.solverEngine;
             auto r = solver::CpSolver(sp).solve(m, &hint);
             result.solveSeconds += r.wallSeconds;
             result.decisions += r.decisions;
             result.status = r.status;
+
+            if (params_.planMemo && r.feasible() &&
+                PlanMemo::global().store(fp, r.values, r.objective)) {
+                ++result.memoStores;
+            }
 
             if (!r.feasible()) {
                 // Tier 1: soft-threshold relaxation of C_l.
@@ -424,6 +445,8 @@ LcOpgPlanner::plan(PlanStats *stats)
         local.solverDecisions += wr.decisions;
         local.softRelaxations += wr.softRelaxations;
         local.forcedPreloads += wr.forcedPreloads;
+        local.memoHits += wr.memoHits;
+        local.memoStores += wr.memoStores;
         if (wr.usedGreedy) {
             ++local.greedyWindows;
         } else if (wr.status == solver::SolveStatus::Optimal) {

@@ -65,6 +65,19 @@ struct OpgParams
      * The latency-priority end of the Figure-8 trade-off.
      */
     double minPreloadFraction = 0.0;
+    /**
+     * Reuse prior incumbents from PlanMemo::global() as warm-start
+     * hints when a window's CP model fingerprint was seen before
+     * (capacity sweeps, multi-model workloads, adaptive-fusion
+     * re-planning). Cached hints are validated before use. Windows
+     * that solve to OPTIMAL replan byte-identically; budget-truncated
+     * windows may improve under a warm start (per-window objectives
+     * are monotonically non-increasing across repeated runs, since the
+     * cached incumbent bounds the new search).
+     */
+    bool planMemo = true;
+    /** CP search kernel (Baseline kept for before/after benches). */
+    solver::SearchEngine solverEngine = solver::SearchEngine::Trail;
 };
 
 /** Offline-stage statistics (paper Table 4 columns). */
@@ -81,6 +94,8 @@ struct PlanStats
     int forcedPreloads = 0;             ///< C4 tier-2 events
     int greedyWindows = 0;              ///< C4 tier-3 events
     std::uint64_t solverDecisions = 0;
+    std::uint64_t memoHits = 0;         ///< plan-memo warm starts used
+    std::uint64_t memoStores = 0;       ///< incumbents written back
 };
 
 /** Produces overlap plans for one graph on one device. */
@@ -117,6 +132,8 @@ class LcOpgPlanner
         std::uint64_t decisions = 0;
         double buildSeconds = 0.0;
         double solveSeconds = 0.0;
+        std::uint64_t memoHits = 0;
+        std::uint64_t memoStores = 0;
     };
 
     /** Analyze graph: kernel specs, capacities, chunk counts. */

@@ -196,6 +196,75 @@ OverlapPlan::serialize() const
     return os.str();
 }
 
+std::optional<std::vector<std::int64_t>>
+PlanMemo::lookup(std::uint64_t fingerprint)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(fingerprint);
+    if (it == entries_.end()) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    ++stats_.hits;
+    it->second.lastUse = ++clock_;
+    return it->second.values;
+}
+
+bool
+PlanMemo::store(std::uint64_t fingerprint,
+                std::vector<std::int64_t> values, std::int64_t objective)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(fingerprint);
+    if (it != entries_.end()) {
+        // Keep the better incumbent; refresh recency either way.
+        it->second.lastUse = ++clock_;
+        if (objective < it->second.objective) {
+            it->second.values = std::move(values);
+            it->second.objective = objective;
+            ++stats_.stores;
+            return true;
+        }
+        return false;
+    }
+    evictIfNeeded();
+    entries_[fingerprint] = {std::move(values), objective, ++clock_};
+    ++stats_.stores;
+    return true;
+}
+
+void
+PlanMemo::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    stats_ = {};
+    clock_ = 0;
+}
+
+void
+PlanMemo::evictIfNeeded()
+{
+    if (entries_.size() < capacity_)
+        return;
+    // Evict the least recently used entry (linear scan: eviction is
+    // rare and the map is small).
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->second.lastUse < victim->second.lastUse)
+            victim = it;
+    }
+    entries_.erase(victim);
+    ++stats_.evictions;
+}
+
+PlanMemo &
+PlanMemo::global()
+{
+    static PlanMemo memo;
+    return memo;
+}
+
 OverlapPlan
 OverlapPlan::deserialize(const std::string &text)
 {

@@ -10,7 +10,12 @@
 #ifndef FLASHMEM_CORE_OVERLAP_PLAN_HH
 #define FLASHMEM_CORE_OVERLAP_PLAN_HH
 
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/weight_slicer.hh"
@@ -90,6 +95,88 @@ class OverlapPlan
     Bytes chunk_bytes_ = mib(1);
     std::vector<WeightSchedule> schedules_;          // by WeightId
     std::vector<std::vector<ChunkAssignment>> by_layer_; // by NodeId
+};
+
+/**
+ * Memo of CP incumbents keyed by CpModel fingerprint.
+ *
+ * Repeated planning calls — capacity sweeps, multi-model workloads,
+ * adaptive-fusion rounds that leave most windows untouched — rebuild
+ * byte-identical CP models. The memo hands the previous incumbent back
+ * as a warm-start hint, so the solver starts with a tight bound (and,
+ * for a previously proven optimum, often only has to re-prove
+ * optimality). Entries are validated against the model before use, so a
+ * fingerprint collision costs only a discarded hint, never correctness.
+ *
+ * Bounded LRU; the global() instance is shared process-wide and
+ * internally synchronized (lookup() hands back a copy, never a pointer
+ * into the map). Note that warm starts make budget-truncated planning
+ * history-dependent within a process: equal-footing A/B comparisons
+ * should clear() between arms (see bench_fig7 / ablation tests).
+ */
+class PlanMemo
+{
+  public:
+    explicit PlanMemo(std::size_t capacity = 1024)
+        : capacity_(std::max<std::size_t>(capacity, 1))
+    {
+    }
+
+    /** Cached incumbent for @p fingerprint, if any. */
+    std::optional<std::vector<std::int64_t>> lookup(
+        std::uint64_t fingerprint);
+
+    /**
+     * Remember @p values as the incumbent for @p fingerprint.
+     * @return true if the entry was inserted or improved; false when
+     * an existing entry with an equal-or-better objective was kept.
+     */
+    bool store(std::uint64_t fingerprint,
+               std::vector<std::int64_t> values,
+               std::int64_t objective);
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return entries_.size();
+    }
+    std::size_t capacity() const { return capacity_; }
+    void clear();
+
+    /** Hit/miss/store counters since construction (or clear()). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t evictions = 0;
+    };
+    Stats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return stats_;
+    }
+
+    /** Process-wide memo shared by all planners. */
+    static PlanMemo &global();
+
+  private:
+    struct Entry
+    {
+        std::vector<std::int64_t> values;
+        std::int64_t objective = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    void evictIfNeeded(); // caller holds mu_
+
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::uint64_t clock_ = 0;
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    Stats stats_;
 };
 
 } // namespace flashmem::core

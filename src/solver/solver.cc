@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "solver/trail.hh"
 
 namespace flashmem::solver {
 
@@ -32,8 +33,485 @@ divCeil(std::int64_t a, std::int64_t b)
     return q;
 }
 
-/** Working search state: current domains + incumbent. */
-struct SearchState
+std::int64_t
+objectiveOf(const CpModel &model, const std::vector<std::int64_t> &values)
+{
+    std::int64_t s = 0;
+    for (const auto &t : model.objective())
+        s += t.coef * values[t.var];
+    return s;
+}
+
+// ===================================================== Trail engine
+
+/**
+ * Trail-based DFS branch and bound. Per-node cost is proportional to
+ * the number of bound changes, not to V or to the constraint count:
+ * backtracking rewinds the trail, propagation drains a dirty queue fed
+ * by per-variable watch lists, the objective lower bound is maintained
+ * incrementally, and variable selection pops a lazy heap.
+ */
+struct TrailSearch
+{
+    const CpModel *model = nullptr;
+    SolverParams params;
+
+    DomainTrail dom;
+
+    // Dense objective coefficient per variable (0 when absent).
+    std::vector<std::int64_t> objCoef;
+    /** Incremental objective lower bound over current domains. */
+    std::int64_t objMin = 0;
+
+    // Incumbent.
+    bool haveIncumbent = false;
+    std::vector<std::int64_t> best;
+    std::int64_t bestObjective = kInf;
+
+    // Dirty propagation queue: ids [0, C) are linear constraints,
+    // [C, C+I) are implications (offset by constraint count).
+    std::vector<std::int32_t> queue;
+    std::size_t queueHead = 0;
+    std::vector<char> inQueue;
+
+    // Lazy first-fail heap: entries go stale when a domain changes; a
+    // fresh entry is pushed on every change, so the newest entry for a
+    // variable always reflects its current size and stale ones are
+    // discarded on pop (validated against the live domain).
+    struct HeapEntry
+    {
+        std::int64_t size = 0;
+        double activity = 0.0;
+        VarId var = -1;
+    };
+    struct HeapWorse
+    {
+        bool
+        operator()(const HeapEntry &a, const HeapEntry &b) const
+        {
+            if (a.size != b.size)
+                return a.size > b.size; // smallest domain first
+            if (a.activity != b.activity)
+                return a.activity < b.activity; // then most active
+            return a.var > b.var;
+        }
+    };
+    std::vector<HeapEntry> heap;
+    std::vector<double> activity;
+    double activityInc = 1.0;
+
+    // Stats / limits.
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t backtracks = 0;
+    bool limitHit = false;
+    std::chrono::steady_clock::time_point deadline;
+
+    bool
+    timeUp()
+    {
+        // Check the clock sparingly; decisions dominate runtime.
+        if ((decisions & 0x3F) == 0 &&
+            std::chrono::steady_clock::now() >= deadline) {
+            limitHit = true;
+        }
+        if (params.maxDecisions && decisions >= params.maxDecisions)
+            limitHit = true;
+        return limitHit;
+    }
+
+    void
+    init(const CpModel &m)
+    {
+        model = &m;
+        const auto n = m.varCount();
+        std::vector<std::int64_t> lb(n), ub(n);
+        for (VarId v = 0; v < static_cast<VarId>(n); ++v) {
+            lb[v] = m.lowerBound(v);
+            ub[v] = m.upperBound(v);
+        }
+        dom.init(std::move(lb), std::move(ub));
+
+        objCoef.assign(n, 0);
+        for (const auto &t : m.objective())
+            objCoef[t.var] += t.coef;
+        objMin = 0;
+        for (VarId v = 0; v < static_cast<VarId>(n); ++v) {
+            objMin += objCoef[v] *
+                      (objCoef[v] >= 0 ? dom.lb(v) : dom.ub(v));
+        }
+
+        activity.assign(n, 0.0);
+        heap.clear();
+        heap.reserve(n);
+        for (VarId v = 0; v < static_cast<VarId>(n); ++v) {
+            if (dom.domainSize(v) > 0)
+                pushHeap(v);
+        }
+
+        const auto total =
+            m.constraints().size() + m.implications().size();
+        inQueue.assign(total, 0);
+        queue.clear();
+        queueHead = 0;
+        // Root propagation visits everything once.
+        for (std::size_t id = 0; id < total; ++id)
+            enqueue(static_cast<std::int32_t>(id));
+    }
+
+    void
+    pushHeap(VarId v)
+    {
+        heap.push_back({dom.domainSize(v), activity[v], v});
+        std::push_heap(heap.begin(), heap.end(), HeapWorse{});
+    }
+
+    /** Pop the unfixed variable with the smallest current domain. */
+    VarId
+    pickVariable()
+    {
+        while (!heap.empty()) {
+            HeapEntry e = heap.front();
+            std::pop_heap(heap.begin(), heap.end(), HeapWorse{});
+            heap.pop_back();
+            // Valid only if it still describes the live domain.
+            if (e.size > 0 && dom.domainSize(e.var) == e.size)
+                return e.var;
+        }
+        return -1;
+    }
+
+    /** Rebuild the heap from live domains when stale entries pile up. */
+    void
+    compactHeapIfNeeded()
+    {
+        if (heap.size() <=
+            std::max<std::size_t>(64, 8 * dom.varCount()))
+            return;
+        heap.clear();
+        for (VarId v = 0; v < static_cast<VarId>(dom.varCount()); ++v) {
+            if (dom.domainSize(v) > 0)
+                heap.push_back({dom.domainSize(v), activity[v], v});
+        }
+        std::make_heap(heap.begin(), heap.end(), HeapWorse{});
+    }
+
+    void
+    enqueue(std::int32_t id)
+    {
+        if (!inQueue[id]) {
+            inQueue[id] = 1;
+            queue.push_back(id);
+        }
+    }
+
+    /** Wake every constraint/implication watching @p v. */
+    void
+    onVarChanged(VarId v)
+    {
+        const auto ncons =
+            static_cast<std::int32_t>(model->constraints().size());
+        for (auto c : model->constraintsWatching(v))
+            enqueue(c);
+        for (auto i : model->implicationsWatching(v))
+            enqueue(ncons + i);
+        if (dom.domainSize(v) > 0)
+            pushHeap(v);
+    }
+
+    /** @return false when the domain wipes out (conflict). */
+    bool
+    tightenLb(VarId v, std::int64_t x)
+    {
+        if (x <= dom.lb(v))
+            return true;
+        if (objCoef[v] > 0)
+            objMin += objCoef[v] * (x - dom.lb(v));
+        dom.tightenLb(v, x);
+        if (dom.empty(v))
+            return false;
+        onVarChanged(v);
+        return true;
+    }
+
+    bool
+    tightenUb(VarId v, std::int64_t x)
+    {
+        if (x >= dom.ub(v))
+            return true;
+        if (objCoef[v] < 0)
+            objMin += objCoef[v] * (x - dom.ub(v));
+        dom.tightenUb(v, x);
+        if (dom.empty(v))
+            return false;
+        onVarChanged(v);
+        return true;
+    }
+
+    /** Undo observer: keeps objMin and the heap in sync with rewinds. */
+    void
+    onUndo(VarId v, bool isUpper, std::int64_t cur, std::int64_t old)
+    {
+        if (isUpper) {
+            if (objCoef[v] < 0)
+                objMin += objCoef[v] * (old - cur);
+        } else {
+            if (objCoef[v] > 0)
+                objMin += objCoef[v] * (old - cur);
+        }
+    }
+
+    std::vector<VarId> touched; // scratch for rewindTo()
+
+    void
+    rewindTo(std::size_t mark)
+    {
+        // Collect restored vars so each gets one fresh heap entry
+        // reflecting its (re-grown) domain size.
+        dom.rewindTo(mark, [&](VarId v, bool isUpper, std::int64_t cur,
+                               std::int64_t old) {
+            onUndo(v, isUpper, cur, old);
+            touched.push_back(v);
+        });
+        for (auto v : touched) {
+            if (dom.domainSize(v) > 0)
+                pushHeap(v);
+        }
+        touched.clear();
+        compactHeapIfNeeded();
+    }
+
+    /** Bump activity of the variables in the conflicting row. */
+    void
+    bumpConflict(std::int32_t id)
+    {
+        const auto ncons =
+            static_cast<std::int32_t>(model->constraints().size());
+        auto bump = [&](VarId v) {
+            activity[v] += activityInc;
+            if (activity[v] > 1e100) {
+                for (auto &a : activity)
+                    a *= 1e-100;
+                activityInc *= 1e-100;
+            }
+        };
+        if (id < ncons) {
+            for (const auto &t : model->constraints()[id].terms)
+                bump(t.var);
+        } else {
+            const auto &imp = model->implications()[id - ncons];
+            bump(imp.x);
+            bump(imp.y);
+        }
+        activityInc *= params.activityDecay;
+    }
+
+    void
+    clearQueue()
+    {
+        for (std::size_t i = queueHead; i < queue.size(); ++i)
+            inQueue[queue[i]] = 0;
+        queue.clear();
+        queueHead = 0;
+    }
+
+    /** One bounds-consistency revision of linear constraint @p ci. */
+    bool
+    reviseLinear(std::int32_t ci)
+    {
+        const auto &c = model->constraints()[ci];
+        std::int64_t smin = 0, smax = 0;
+        for (const auto &t : c.terms) {
+            if (t.coef >= 0) {
+                smin += t.coef * dom.lb(t.var);
+                smax += t.coef * dom.ub(t.var);
+            } else {
+                smin += t.coef * dom.ub(t.var);
+                smax += t.coef * dom.lb(t.var);
+            }
+        }
+        if (smin > c.hi || smax < c.lo)
+            return false;
+        // Entailed: no term can be tightened (coef*v <= c.hi - others_min
+        // is implied by smax <= c.hi, and symmetrically for lo), so skip
+        // the per-term division pass entirely.
+        if (smin >= c.lo && smax <= c.hi)
+            return true;
+
+        for (const auto &t : c.terms) {
+            // Bounds of the sum excluding this term.
+            std::int64_t tmin, tmax;
+            if (t.coef >= 0) {
+                tmin = t.coef * dom.lb(t.var);
+                tmax = t.coef * dom.ub(t.var);
+            } else {
+                tmin = t.coef * dom.ub(t.var);
+                tmax = t.coef * dom.lb(t.var);
+            }
+            std::int64_t others_min = smin - tmin;
+            std::int64_t others_max = smax - tmax;
+            // c.lo - others_max <= coef*v <= c.hi - others_min.
+            std::int64_t lo_num = c.lo == -kInf ? -kInf : c.lo - others_max;
+            std::int64_t hi_num = c.hi == kInf ? kInf : c.hi - others_min;
+            std::int64_t new_lb, new_ub;
+            if (t.coef > 0) {
+                new_lb = lo_num <= -kInf ? dom.lb(t.var)
+                                         : divCeil(lo_num, t.coef);
+                new_ub = hi_num >= kInf ? dom.ub(t.var)
+                                        : divFloor(hi_num, t.coef);
+            } else if (t.coef < 0) {
+                new_lb = hi_num >= kInf ? dom.lb(t.var)
+                                        : divCeil(hi_num, t.coef);
+                new_ub = lo_num <= -kInf ? dom.ub(t.var)
+                                         : divFloor(lo_num, t.coef);
+            } else {
+                continue;
+            }
+            std::int64_t old_lb = dom.lb(t.var), old_ub = dom.ub(t.var);
+            if (!tightenLb(t.var, new_lb) || !tightenUb(t.var, new_ub))
+                return false;
+            // Keep the running sum bounds consistent with the updates.
+            if (t.coef >= 0) {
+                smin += t.coef * (dom.lb(t.var) - old_lb);
+                smax += t.coef * (dom.ub(t.var) - old_ub);
+            } else {
+                smin += t.coef * (dom.ub(t.var) - old_ub);
+                smax += t.coef * (dom.lb(t.var) - old_lb);
+            }
+        }
+        return true;
+    }
+
+    /** One revision of implication @p ii. */
+    bool
+    reviseImplication(std::int32_t ii)
+    {
+        const auto &imp = model->implications()[ii];
+        // (x >= thr) => (y <= bound)
+        if (dom.lb(imp.x) >= imp.xThreshold) {
+            if (!tightenUb(imp.y, imp.yBound))
+                return false;
+        } else if (dom.lb(imp.y) > imp.yBound) {
+            // Contrapositive: y already exceeds the bound, so x must
+            // stay below its threshold.
+            if (!tightenUb(imp.x, imp.xThreshold - 1))
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * Drain the dirty queue to fixpoint. @return false on conflict
+     * (domain wipe-out or objective bound exceeded).
+     */
+    bool
+    propagate()
+    {
+        if (haveIncumbent && model->hasObjective() &&
+            objMin >= bestObjective) {
+            clearQueue();
+            return false;
+        }
+        while (queueHead < queue.size()) {
+            auto id = queue[queueHead++];
+            inQueue[id] = 0;
+            ++propagations;
+            const auto ncons =
+                static_cast<std::int32_t>(model->constraints().size());
+            bool ok = id < ncons ? reviseLinear(id)
+                                 : reviseImplication(id - ncons);
+            if (!ok) {
+                bumpConflict(id);
+                clearQueue();
+                return false;
+            }
+            // Objective bounding against the incumbent, incrementally.
+            if (haveIncumbent && model->hasObjective() &&
+                objMin >= bestObjective) {
+                clearQueue();
+                return false;
+            }
+        }
+        queue.clear();
+        queueHead = 0;
+        return true;
+    }
+
+    void
+    recordIncumbent()
+    {
+        // All variables fixed: objMin is the exact objective value.
+        if (!haveIncumbent || objMin < bestObjective) {
+            haveIncumbent = true;
+            bestObjective = objMin;
+            best = dom.lbs();
+        }
+    }
+
+    /** DFS with trail-rewind backtracking. @return true if exhausted. */
+    bool
+    search()
+    {
+        if (timeUp())
+            return false;
+        if (!propagate()) {
+            ++backtracks;
+            return true;
+        }
+        VarId v = pickVariable();
+        if (v < 0) {
+            recordIncumbent();
+            if (!model->hasObjective()) {
+                // Satisfaction problem: first solution suffices.
+                return true;
+            }
+            ++backtracks;
+            return true;
+        }
+
+        // Objective-aware value ordering: positive-coefficient objective
+        // variables prefer small values; negative prefer large.
+        const bool low_first = objCoef[v] >= 0;
+        const std::int64_t saved_lb = dom.lb(v);
+        const std::int64_t saved_ub = dom.ub(v);
+        const std::size_t node_mark = dom.mark();
+
+        for (int side = 0; side < 2; ++side) {
+            ++decisions;
+            if (timeUp())
+                return false;
+            bool try_low = (side == 0) == low_first;
+            bool ok;
+            if (try_low) {
+                // v = lb
+                ok = tightenUb(v, saved_lb);
+            } else {
+                // v in [lb+1, ub]
+                if (saved_lb + 1 > saved_ub)
+                    continue;
+                ok = tightenLb(v, saved_lb + 1);
+            }
+            bool exhausted = !ok || search();
+            if (!ok)
+                ++backtracks;
+            rewindTo(node_mark);
+            if (!exhausted)
+                return false;
+            if (!model->hasObjective() && haveIncumbent)
+                return true;
+        }
+        return true;
+    }
+};
+
+// ================================================== Baseline engine
+
+/**
+ * The seed DFS, kept verbatim as the before/after comparison point and
+ * differential oracle: full lb/ub snapshots per node, full constraint
+ * sweeps per propagation pass, O(V) variable scans.
+ */
+struct BaselineState
 {
     const CpModel *model = nullptr;
     SolverParams params;
@@ -68,15 +546,6 @@ struct SearchState
         std::int64_t s = 0;
         for (const auto &t : model->objective())
             s += t.coef * (t.coef >= 0 ? lb[t.var] : ub[t.var]);
-        return s;
-    }
-
-    std::int64_t
-    objectiveOf(const std::vector<std::int64_t> &values) const
-    {
-        std::int64_t s = 0;
-        for (const auto &t : model->objective())
-            s += t.coef * values[t.var];
         return s;
     }
 
@@ -180,32 +649,6 @@ struct SearchState
                 return true;
         }
         return true; // fixpoint not reached within pass budget; sound
-    }
-
-    /** Verify a full assignment against all constraints. */
-    bool
-    checkAssignment(const std::vector<std::int64_t> &values) const
-    {
-        if (values.size() != model->varCount())
-            return false;
-        for (VarId v = 0; v < static_cast<VarId>(values.size()); ++v) {
-            if (values[v] < model->lowerBound(v) ||
-                values[v] > model->upperBound(v))
-                return false;
-        }
-        for (const auto &c : model->constraints()) {
-            std::int64_t s = 0;
-            for (const auto &t : c.terms)
-                s += t.coef * values[t.var];
-            if (s < c.lo || s > c.hi)
-                return false;
-        }
-        for (const auto &imp : model->implications()) {
-            if (values[imp.x] >= imp.xThreshold &&
-                values[imp.y] > imp.yBound)
-                return false;
-        }
-        return true;
     }
 
     /** First-fail: unfixed variable with the smallest domain. */
@@ -315,47 +758,81 @@ solveStatusName(SolveStatus status)
     return "?";
 }
 
+const char *
+searchEngineName(SearchEngine engine)
+{
+    switch (engine) {
+      case SearchEngine::Trail:
+        return "trail";
+      case SearchEngine::Baseline:
+        return "baseline";
+    }
+    return "?";
+}
+
 SolveResult
 CpSolver::solve(const CpModel &model,
                 const std::vector<std::int64_t> *hint)
 {
     auto t0 = std::chrono::steady_clock::now();
-
-    SearchState st;
-    st.model = &model;
-    st.params = params_;
-    st.deadline =
+    auto deadline =
         t0 + std::chrono::microseconds(static_cast<std::int64_t>(
                  params_.timeLimitSeconds * 1e6));
-    st.lb.resize(model.varCount());
-    st.ub.resize(model.varCount());
-    for (VarId v = 0; v < static_cast<VarId>(model.varCount()); ++v) {
-        st.lb[v] = model.lowerBound(v);
-        st.ub[v] = model.upperBound(v);
-    }
-
-    if (hint && st.checkAssignment(*hint)) {
-        st.haveIncumbent = true;
-        st.best = *hint;
-        st.bestObjective = st.objectiveOf(*hint);
-    }
-
-    bool exhausted = st.search();
 
     SolveResult result;
-    result.decisions = st.decisions;
-    result.propagations = st.propagations;
-    result.backtracks = st.backtracks;
+    bool exhausted = false;
+    bool haveIncumbent = false;
+    std::vector<std::int64_t> best;
+    std::int64_t bestObjective = 0;
+
+    // Shared per-engine tail: seed the incumbent from a valid hint,
+    // search, and pull the stats out of the engine state.
+    auto runEngine = [&](auto &st) {
+        if (hint && model.satisfiedBy(*hint)) {
+            st.haveIncumbent = true;
+            st.best = *hint;
+            st.bestObjective = objectiveOf(model, *hint);
+        }
+        exhausted = st.search();
+        result.decisions = st.decisions;
+        result.propagations = st.propagations;
+        result.backtracks = st.backtracks;
+        haveIncumbent = st.haveIncumbent;
+        best = std::move(st.best);
+        bestObjective = st.bestObjective;
+    };
+
+    if (params_.engine == SearchEngine::Trail) {
+        TrailSearch st;
+        st.params = params_;
+        st.deadline = deadline;
+        st.init(model);
+        runEngine(st);
+    } else {
+        BaselineState st;
+        st.model = &model;
+        st.params = params_;
+        st.deadline = deadline;
+        st.lb.resize(model.varCount());
+        st.ub.resize(model.varCount());
+        for (VarId v = 0; v < static_cast<VarId>(model.varCount());
+             ++v) {
+            st.lb[v] = model.lowerBound(v);
+            st.ub[v] = model.upperBound(v);
+        }
+        runEngine(st);
+    }
+
     result.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
 
-    if (st.haveIncumbent) {
+    if (haveIncumbent) {
         result.status =
             exhausted ? SolveStatus::Optimal : SolveStatus::Feasible;
-        result.values = st.best;
-        result.objective = st.bestObjective;
+        result.values = std::move(best);
+        result.objective = bestObjective;
     } else {
         result.status =
             exhausted ? SolveStatus::Infeasible : SolveStatus::Unknown;

@@ -2,6 +2,19 @@
  * @file
  * Branch-and-bound CP solver with interval (bounds) propagation.
  *
+ * Two search engines share the statuses and semantics:
+ *
+ *   Trail (default) — trail-based undo stack (only changed bounds are
+ *   recorded and rewound on backtrack), watch-list dirty-queue
+ *   propagation (only constraints whose variables changed are
+ *   revisited), an incrementally maintained objective lower bound, and
+ *   heap-based first-fail variable selection with activity tie-breaking.
+ *
+ *   Baseline — the seed DFS that copies full lb/ub vectors per decision
+ *   node and re-scans every constraint per propagation pass. Kept for
+ *   the before/after comparison in bench_table4_solver_runtime and as a
+ *   differential-testing oracle.
+ *
  * Search: first-fail variable selection, objective-aware value ordering,
  * incumbent-driven bounding, wall-clock + decision limits. Statuses
  * mirror CP-SAT: Optimal (search exhausted with incumbent), Feasible
@@ -26,13 +39,23 @@ enum class SolveStatus { Optimal, Feasible, Infeasible, Unknown };
 /** Human-readable status name ("OPTIMAL", "FEASIBLE", ...). */
 const char *solveStatusName(SolveStatus status);
 
+/** Which search kernel solve() runs (see file comment). */
+enum class SearchEngine { Trail, Baseline };
+
+/** Human-readable engine name ("trail", "baseline"). */
+const char *searchEngineName(SearchEngine engine);
+
 /** Search limits and tunables. */
 struct SolverParams
 {
     double timeLimitSeconds = 150.0;  ///< paper Table 4 uses 150 s
     std::uint64_t maxDecisions = 0;   ///< 0 = unlimited
-    /** Maximum propagation sweeps per node before giving up fixpoint. */
+    /** Maximum propagation sweeps per node before giving up fixpoint
+     * (Baseline engine only; Trail always reaches fixpoint). */
     int maxPropagationPasses = 16;
+    SearchEngine engine = SearchEngine::Trail;
+    /** Multiplicative activity bump applied per conflict (Trail). */
+    double activityDecay = 1.05;
 };
 
 /** Result of a solve: status, assignment, objective, search stats. */
@@ -42,6 +65,7 @@ struct SolveResult
     std::vector<std::int64_t> values;
     std::int64_t objective = 0;
     std::uint64_t decisions = 0;
+    /** Constraint revisions (Trail) / full passes (Baseline). */
     std::uint64_t propagations = 0;
     std::uint64_t backtracks = 0;
     double wallSeconds = 0.0;
@@ -56,7 +80,7 @@ struct SolveResult
     std::int64_t value(VarId v) const { return values.at(v); }
 };
 
-/** DFS branch-and-bound solver over a CpModel. */
+/** Branch-and-bound solver over a CpModel. */
 class CpSolver
 {
   public:

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Trail-based domain store for backtracking search.
+ *
+ * Instead of snapshotting full lb/ub vectors at every decision node (the
+ * seed solver's O(V)-per-node approach), the trail records only the
+ * bounds that actually change. Backtracking rewinds the tail of the
+ * trail, restoring the previous state in time proportional to the number
+ * of changes — typically a handful per node instead of thousands.
+ *
+ * The rewind observer lets the solver keep derived state (incremental
+ * objective bound, variable-selection heap) consistent without the trail
+ * knowing about it.
+ */
+
+#ifndef FLASHMEM_SOLVER_TRAIL_HH
+#define FLASHMEM_SOLVER_TRAIL_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "solver/model.hh"
+
+namespace flashmem::solver {
+
+/** One recorded bound change: enough to undo it. */
+struct TrailEntry
+{
+    VarId var = -1;
+    bool isUpper = false;
+    std::int64_t old = 0;
+};
+
+/** Variable domains ([lb, ub] boxes) with an undo trail. */
+class DomainTrail
+{
+  public:
+    /** Reset to the given root domains; clears the trail. */
+    void
+    init(std::vector<std::int64_t> lb, std::vector<std::int64_t> ub)
+    {
+        FM_ASSERT(lb.size() == ub.size(), "lb/ub size mismatch");
+        lb_ = std::move(lb);
+        ub_ = std::move(ub);
+        trail_.clear();
+    }
+
+    std::size_t varCount() const { return lb_.size(); }
+    std::int64_t lb(VarId v) const { return lb_[v]; }
+    std::int64_t ub(VarId v) const { return ub_[v]; }
+    bool fixed(VarId v) const { return lb_[v] == ub_[v]; }
+    /** ub - lb: 0 means fixed. */
+    std::int64_t domainSize(VarId v) const { return ub_[v] - lb_[v]; }
+    bool empty(VarId v) const { return lb_[v] > ub_[v]; }
+    const std::vector<std::int64_t> &lbs() const { return lb_; }
+    const std::vector<std::int64_t> &ubs() const { return ub_; }
+
+    /**
+     * Raise the lower bound to @p x, recording the old bound. The caller
+     * must ensure @p x > lb(v); the domain may become empty (conflict),
+     * which the caller detects via empty().
+     */
+    void
+    tightenLb(VarId v, std::int64_t x)
+    {
+        trail_.push_back({v, false, lb_[v]});
+        lb_[v] = x;
+    }
+
+    /** Lower the upper bound to @p x (x < ub(v)); see tightenLb(). */
+    void
+    tightenUb(VarId v, std::int64_t x)
+    {
+        trail_.push_back({v, true, ub_[v]});
+        ub_[v] = x;
+    }
+
+    /** Current trail position; pass to rewindTo() to undo past here. */
+    std::size_t mark() const { return trail_.size(); }
+
+    /** Number of bound changes recorded since init(). */
+    std::size_t depth() const { return trail_.size(); }
+
+    /**
+     * Undo every change recorded after @p mark, newest first.
+     * @p onUndo is called as onUndo(var, isUpper, currentValue,
+     * restoredValue) *before* the bound is restored, so observers can
+     * update derived state (objective bound deltas, heap entries).
+     */
+    template <typename F>
+    void
+    rewindTo(std::size_t mark, F &&onUndo)
+    {
+        while (trail_.size() > mark) {
+            const TrailEntry e = trail_.back();
+            trail_.pop_back();
+            if (e.isUpper) {
+                onUndo(e.var, true, ub_[e.var], e.old);
+                ub_[e.var] = e.old;
+            } else {
+                onUndo(e.var, false, lb_[e.var], e.old);
+                lb_[e.var] = e.old;
+            }
+        }
+    }
+
+    /** rewindTo() without an observer. */
+    void
+    rewindTo(std::size_t mark)
+    {
+        rewindTo(mark,
+                 [](VarId, bool, std::int64_t, std::int64_t) {});
+    }
+
+  private:
+    std::vector<std::int64_t> lb_, ub_;
+    std::vector<TrailEntry> trail_;
+};
+
+} // namespace flashmem::solver
+
+#endif // FLASHMEM_SOLVER_TRAIL_HH

@@ -308,6 +308,112 @@ TEST(LcOpg, StatsAccountAllWindows)
     EXPECT_GT(stats.processNodesSeconds, 0.0);
 }
 
+// --------------------------------------------------------------- PlanMemo
+
+TEST(PlanMemo, StoreLookupAndStats)
+{
+    PlanMemo memo(4);
+    EXPECT_FALSE(memo.lookup(42).has_value());
+    EXPECT_TRUE(memo.store(42, {1, 2, 3}, 10));
+    auto hit = memo.lookup(42);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, (std::vector<std::int64_t>{1, 2, 3}));
+    EXPECT_EQ(memo.stats().hits, 1u);
+    EXPECT_EQ(memo.stats().misses, 1u);
+    EXPECT_EQ(memo.stats().stores, 1u);
+}
+
+TEST(PlanMemo, KeepsBetterIncumbent)
+{
+    PlanMemo memo(4);
+    EXPECT_TRUE(memo.store(7, {5}, 50));
+    EXPECT_FALSE(memo.store(7, {9}, 90)); // worse: ignored
+    EXPECT_EQ(*memo.lookup(7), (std::vector<std::int64_t>{5}));
+    EXPECT_TRUE(memo.store(7, {3}, 30)); // better: replaces
+    EXPECT_EQ(*memo.lookup(7), (std::vector<std::int64_t>{3}));
+}
+
+TEST(PlanMemo, EvictsLeastRecentlyUsed)
+{
+    PlanMemo memo(2);
+    memo.store(1, {1}, 1);
+    memo.store(2, {2}, 2);
+    EXPECT_TRUE(memo.lookup(1).has_value()); // 1 is now most recent
+    memo.store(3, {3}, 3);                   // evicts 2
+    EXPECT_EQ(memo.size(), 2u);
+    EXPECT_TRUE(memo.lookup(1).has_value());
+    EXPECT_FALSE(memo.lookup(2).has_value());
+    EXPECT_TRUE(memo.lookup(3).has_value());
+    EXPECT_EQ(memo.stats().evictions, 1u);
+}
+
+TEST(LcOpg, PlanMemoWarmStartReproducesPlan)
+{
+    // Small graph so every window solves to OPTIMAL: only then is
+    // byte-identical replanning guaranteed (on budget-truncated
+    // windows a warm start may legitimately find a better plan).
+    auto g = toyGraph(3);
+    KernelModel km(DeviceProfile::onePlus12());
+    profiler::AnalyticCapacityProvider cap(km);
+    OpgParams params;
+    params.chunkBytes = kib(256);
+    // Budget generous enough to exhaust the window (~226k decisions).
+    params.solverDecisionsPerWindow = 2000000;
+    params.solverTimePerWindow = 10.0;
+
+    PlanMemo::global().clear();
+    PlanStats cold, warm;
+    std::string cold_plan, warm_plan;
+    {
+        LcOpgPlanner planner(g, cap, km, params);
+        cold_plan = planner.plan(&cold).serialize();
+    }
+    {
+        LcOpgPlanner planner(g, cap, km, params);
+        warm_plan = planner.plan(&warm).serialize();
+    }
+    ASSERT_EQ(cold.overallStatus, solver::SolveStatus::Optimal);
+    EXPECT_EQ(cold.memoHits, 0u);
+    EXPECT_GT(cold.memoStores, 0u);
+    EXPECT_GT(warm.memoHits, 0u);
+    // Warm starts are hints, not shortcuts: the optimal plan is
+    // reproduced exactly.
+    EXPECT_EQ(cold_plan, warm_plan);
+}
+
+TEST(LcOpg, PlanMemoDisabledStillMatches)
+{
+    auto g = toyGraph(4);
+    KernelModel km(DeviceProfile::onePlus12());
+    profiler::AnalyticCapacityProvider cap(km);
+
+    PlanMemo::global().clear();
+    OpgParams with_memo;
+    OpgParams no_memo;
+    no_memo.planMemo = false;
+
+    LcOpgPlanner p1(g, cap, km, with_memo);
+    auto plan1 = p1.plan();
+    PlanStats s2;
+    LcOpgPlanner p2(g, cap, km, no_memo);
+    auto plan2 = p2.plan(&s2);
+    EXPECT_EQ(s2.memoHits, 0u);
+    EXPECT_EQ(plan1.serialize(), plan2.serialize());
+}
+
+TEST(LcOpg, BaselineSolverEngineProducesValidPlan)
+{
+    auto g = toyGraph(3);
+    KernelModel km(DeviceProfile::onePlus12());
+    profiler::AnalyticCapacityProvider cap(km);
+    OpgParams params;
+    params.solverEngine = solver::SearchEngine::Baseline;
+    params.planMemo = false;
+    LcOpgPlanner planner(g, cap, km, params);
+    auto plan = planner.plan();
+    EXPECT_TRUE(plan.validate(g, false));
+}
+
 // ----------------------------------------------------------------- Fusion
 
 TEST(Fusion, InitialPartitionCoversGraphOnce)
@@ -621,9 +727,11 @@ TEST(FlashMemFacade, AblationFusionReducesKernels)
 
     FlashMemOptions no_fusion;
     no_fusion.adaptiveFusion = false;
+    PlanMemo::global().clear(); // equal footing between ablation arms
     core::FlashMem fm_plain(DeviceProfile::onePlus12(), no_fusion);
     auto plain = fm_plain.compile(g);
 
+    PlanMemo::global().clear();
     core::FlashMem fm_fused(DeviceProfile::onePlus12());
     auto fused = fm_fused.compile(g);
 
@@ -651,6 +759,8 @@ TEST(FlashMemFacade, FullSystemFastestAmongAblations)
         SimTime computeBusy;
     };
     auto run = [&](const FlashMemOptions &opt) -> Outcome {
+        // Equal footing: no warm starts leaking between ablation arms.
+        PlanMemo::global().clear();
         core::FlashMem fm(DeviceProfile::onePlus12(), opt);
         auto compiled = fm.compile(g);
         GpuSimulator sim(DeviceProfile::onePlus12());
@@ -673,6 +783,22 @@ TEST(FlashMemFacade, FullSystemFastestAmongAblations)
     // never regress materially.
     EXPECT_LT(static_cast<double>(ful.integrated),
               1.03 * static_cast<double>(opg.integrated));
+}
+
+TEST(FlashMemFacade, RecompilationReusesPlanMemo)
+{
+    PlanMemo::global().clear();
+    core::FlashMem fm(DeviceProfile::onePlus12());
+    auto g = models::buildModel(models::ModelId::GPTNeoS);
+    auto first = fm.compile(g);
+    auto second = fm.compile(g);
+    EXPECT_GT(first.planMemoStores, 0u);
+    EXPECT_GT(second.planMemoHits, 0u);
+    // Budget-truncated windows may improve under a warm start (and
+    // fusion decisions may follow), so the plans need not be
+    // byte-identical — but every compile must stay valid.
+    EXPECT_TRUE(first.plan.validate(first.fusedGraph, false));
+    EXPECT_TRUE(second.plan.validate(second.fusedGraph, false));
 }
 
 TEST(FlashMemFacade, RunsGpt27BWithinOnePlus12Budget)

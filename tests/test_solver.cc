@@ -1,8 +1,9 @@
 /**
  * @file
  * Tests for the CP-SAT-style solver: propagation, implications,
- * optimality on knapsack-like problems, status reporting, limits, and a
- * randomized equivalence check against brute-force enumeration.
+ * optimality on knapsack-like problems, status reporting, limits, the
+ * trail/watch-list machinery behind the fast engine, and randomized
+ * equivalence checks against brute-force enumeration (both engines).
  */
 
 #include <gtest/gtest.h>
@@ -13,6 +14,7 @@
 #include "common/rng.hh"
 #include "solver/model.hh"
 #include "solver/solver.hh"
+#include "solver/trail.hh"
 
 namespace flashmem::solver {
 namespace {
@@ -298,19 +300,28 @@ TEST_P(SolverVsBruteForce, AgreesOnRandomInstances)
         }
     }
 
-    auto r = CpSolver().solve(m);
-    if (bf_feasible) {
-        ASSERT_EQ(r.status, SolveStatus::Optimal)
-            << "seed " << GetParam();
-        EXPECT_EQ(r.objective, bf_best) << "seed " << GetParam();
-    } else {
-        EXPECT_EQ(r.status, SolveStatus::Infeasible)
-            << "seed " << GetParam();
+    // Both engines must agree with the enumerator and each other.
+    for (auto engine : {SearchEngine::Trail, SearchEngine::Baseline}) {
+        SolverParams params;
+        params.engine = engine;
+        auto r = CpSolver(params).solve(m);
+        if (bf_feasible) {
+            ASSERT_EQ(r.status, SolveStatus::Optimal)
+                << "seed " << GetParam() << " engine "
+                << searchEngineName(engine);
+            EXPECT_EQ(r.objective, bf_best)
+                << "seed " << GetParam() << " engine "
+                << searchEngineName(engine);
+        } else {
+            EXPECT_EQ(r.status, SolveStatus::Infeasible)
+                << "seed " << GetParam() << " engine "
+                << searchEngineName(engine);
+        }
     }
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, SolverVsBruteForce,
-                         ::testing::Range(0, 40));
+                         ::testing::Range(0, 60));
 
 TEST(CpSolver, StatusNames)
 {
@@ -318,6 +329,248 @@ TEST(CpSolver, StatusNames)
     EXPECT_STREQ(solveStatusName(SolveStatus::Feasible), "FEASIBLE");
     EXPECT_STREQ(solveStatusName(SolveStatus::Infeasible), "INFEASIBLE");
     EXPECT_STREQ(solveStatusName(SolveStatus::Unknown), "UNKNOWN");
+    EXPECT_STREQ(searchEngineName(SearchEngine::Trail), "trail");
+    EXPECT_STREQ(searchEngineName(SearchEngine::Baseline), "baseline");
+}
+
+// ------------------------------------------------------------ DomainTrail
+
+TEST(DomainTrail, TightenAndRewindRestoresExactly)
+{
+    DomainTrail dom;
+    dom.init({0, -5, 10}, {9, 5, 20});
+
+    auto root = dom.mark();
+    dom.tightenLb(0, 3);
+    dom.tightenUb(0, 7);
+    dom.tightenUb(1, 0);
+    EXPECT_EQ(dom.lb(0), 3);
+    EXPECT_EQ(dom.ub(0), 7);
+    EXPECT_EQ(dom.ub(1), 0);
+    EXPECT_EQ(dom.depth(), 3u);
+
+    auto inner = dom.mark();
+    dom.tightenLb(2, 15);
+    dom.tightenLb(0, 7); // fixes var 0
+    EXPECT_TRUE(dom.fixed(0));
+
+    dom.rewindTo(inner);
+    EXPECT_EQ(dom.lb(0), 3);
+    EXPECT_EQ(dom.lb(2), 10);
+    EXPECT_EQ(dom.ub(1), 0); // outer changes survive inner rewind
+
+    dom.rewindTo(root);
+    EXPECT_EQ(dom.lb(0), 0);
+    EXPECT_EQ(dom.ub(0), 9);
+    EXPECT_EQ(dom.lb(1), -5);
+    EXPECT_EQ(dom.ub(1), 5);
+    EXPECT_EQ(dom.lb(2), 10);
+    EXPECT_EQ(dom.ub(2), 20);
+    EXPECT_EQ(dom.depth(), 0u);
+}
+
+TEST(DomainTrail, RewindObserverSeesEveryChange)
+{
+    DomainTrail dom;
+    dom.init({0, 0}, {10, 10});
+    auto mark = dom.mark();
+    dom.tightenLb(0, 4);
+    dom.tightenUb(1, 6);
+
+    int undone = 0;
+    dom.rewindTo(mark, [&](VarId v, bool isUpper, std::int64_t cur,
+                           std::int64_t old) {
+        ++undone;
+        if (v == 0) {
+            EXPECT_FALSE(isUpper);
+            EXPECT_EQ(cur, 4);
+            EXPECT_EQ(old, 0);
+        } else {
+            EXPECT_TRUE(isUpper);
+            EXPECT_EQ(cur, 6);
+            EXPECT_EQ(old, 10);
+        }
+    });
+    EXPECT_EQ(undone, 2);
+}
+
+// Randomized regression: arbitrary interleavings of tightenings and
+// nested rewinds always restore domains exactly (checked against shadow
+// snapshot copies, the representation the seed solver used).
+TEST(DomainTrail, RandomizedRewindMatchesSnapshots)
+{
+    Rng rng(99);
+    for (int round = 0; round < 50; ++round) {
+        const int nvars = static_cast<int>(rng.uniformInt(1, 12));
+        std::vector<std::int64_t> lb(nvars), ub(nvars);
+        for (int v = 0; v < nvars; ++v) {
+            lb[v] = rng.uniformInt(-20, 10);
+            ub[v] = lb[v] + rng.uniformInt(0, 30);
+        }
+        DomainTrail dom;
+        dom.init(lb, ub);
+
+        // Stack of (mark, lb snapshot, ub snapshot).
+        struct Snap
+        {
+            std::size_t mark;
+            std::vector<std::int64_t> lb, ub;
+        };
+        std::vector<Snap> snaps{{dom.mark(), lb, ub}};
+
+        for (int step = 0; step < 60; ++step) {
+            double roll = rng.uniform();
+            if (roll < 0.5) {
+                // Tighten a random var if possible.
+                VarId v = static_cast<VarId>(
+                    rng.uniformInt(0, nvars - 1));
+                if (dom.domainSize(v) <= 0)
+                    continue;
+                if (rng.uniform() < 0.5)
+                    dom.tightenLb(
+                        v, dom.lb(v) +
+                               rng.uniformInt(1, dom.domainSize(v)));
+                else
+                    dom.tightenUb(
+                        v, dom.ub(v) -
+                               rng.uniformInt(1, dom.domainSize(v)));
+            } else if (roll < 0.75) {
+                snaps.push_back({dom.mark(), dom.lbs(), dom.ubs()});
+            } else if (snaps.size() > 1) {
+                dom.rewindTo(snaps.back().mark);
+                EXPECT_EQ(dom.lbs(), snaps.back().lb);
+                EXPECT_EQ(dom.ubs(), snaps.back().ub);
+                snaps.pop_back();
+            }
+        }
+        // Unwind everything: must land exactly on the root domains.
+        dom.rewindTo(snaps.front().mark);
+        EXPECT_EQ(dom.lbs(), lb);
+        EXPECT_EQ(dom.ubs(), ub);
+    }
+}
+
+// ------------------------------------------------------------ Watch lists
+
+TEST(CpModel, WatchListsCoverEveryOccurrence)
+{
+    CpModel m;
+    auto a = m.newIntVar(0, 5);
+    auto b = m.newIntVar(0, 5);
+    auto c = m.newIntVar(0, 5);
+    m.addLessOrEqual({{a, 1}, {b, 2}}, 7);        // constraint 0
+    m.addGreaterOrEqual({{b, 1}, {c, -1}}, 0);    // constraint 1
+    m.addImplicationGeLe(a, 1, c, 3);             // implication 0
+
+    EXPECT_EQ(m.constraintsWatching(a),
+              (std::vector<std::int32_t>{0}));
+    EXPECT_EQ(m.constraintsWatching(b),
+              (std::vector<std::int32_t>{0, 1}));
+    EXPECT_EQ(m.constraintsWatching(c),
+              (std::vector<std::int32_t>{1}));
+    EXPECT_EQ(m.implicationsWatching(a),
+              (std::vector<std::int32_t>{0}));
+    EXPECT_TRUE(m.implicationsWatching(b).empty());
+    EXPECT_EQ(m.implicationsWatching(c),
+              (std::vector<std::int32_t>{0}));
+}
+
+TEST(CpModel, WatchListsMaintainedAcrossMutation)
+{
+    CpModel m;
+    auto a = m.newIntVar(0, 5);
+    m.addLessOrEqual({{a, 1}}, 4);
+    EXPECT_EQ(m.constraintsWatching(a).size(), 1u);
+    // Watch lists are maintained eagerly: constraints added after a
+    // query show up too.
+    m.addGreaterOrEqual({{a, 1}}, 1);
+    EXPECT_EQ(m.constraintsWatching(a).size(), 2u);
+}
+
+// ------------------------------------------------------------ Fingerprint
+
+TEST(CpModel, FingerprintStableAndSensitive)
+{
+    auto build = [](std::int64_t ub, std::int64_t hi,
+                    std::int64_t coef) {
+        CpModel m;
+        auto x = m.newIntVar(0, ub);
+        auto y = m.newIntVar(0, 10);
+        m.addLessOrEqual({{x, 1}, {y, coef}}, hi);
+        m.addImplicationGeLe(x, 2, y, 5);
+        m.minimize({{x, 1}, {y, 3}});
+        return m;
+    };
+    auto base = build(10, 12, 2).fingerprint();
+    EXPECT_EQ(base, build(10, 12, 2).fingerprint()); // deterministic
+    EXPECT_NE(base, build(11, 12, 2).fingerprint()); // domain change
+    EXPECT_NE(base, build(10, 13, 2).fingerprint()); // rhs change
+    EXPECT_NE(base, build(10, 12, 3).fingerprint()); // coef change
+
+    CpModel no_obj;
+    auto x = no_obj.newIntVar(0, 10);
+    auto y = no_obj.newIntVar(0, 10);
+    no_obj.addLessOrEqual({{x, 1}, {y, 2}}, 12);
+    no_obj.addImplicationGeLe(x, 2, y, 5);
+    EXPECT_NE(base, no_obj.fingerprint()); // objective participates
+}
+
+// ------------------------------------------------- Engine equivalence
+
+/** A mid-size OPG-ish model both engines solve to optimality. */
+CpModel
+windowModel(int weights, int layers, int tw, int cap)
+{
+    CpModel m;
+    std::vector<std::vector<VarId>> x(weights);
+    for (int w = 0; w < weights; ++w) {
+        std::vector<LinearTerm> row;
+        for (int l = 0; l < layers; ++l) {
+            x[w].push_back(m.newIntVar(0, tw));
+            row.push_back({x[w][l], 1});
+        }
+        m.addEquality(row, tw);
+    }
+    for (int l = 0; l < layers; ++l) {
+        std::vector<LinearTerm> col;
+        for (int w = 0; w < weights; ++w)
+            col.push_back({x[w][l], 1});
+        m.addLessOrEqual(col, cap);
+    }
+    std::vector<LinearTerm> obj;
+    for (int w = 0; w < weights; ++w) {
+        for (int l = 0; l < layers; ++l)
+            obj.push_back({x[w][l], layers - l});
+    }
+    m.minimize(obj);
+    return m;
+}
+
+TEST(CpSolver, EnginesAgreeOnWindowModel)
+{
+    auto m = windowModel(6, 4, 2, 4);
+    SolverParams trail_params;
+    trail_params.engine = SearchEngine::Trail;
+    SolverParams base_params;
+    base_params.engine = SearchEngine::Baseline;
+    auto rt = CpSolver(trail_params).solve(m);
+    auto rb = CpSolver(base_params).solve(m);
+    ASSERT_EQ(rt.status, SolveStatus::Optimal);
+    ASSERT_EQ(rb.status, SolveStatus::Optimal);
+    EXPECT_EQ(rt.objective, rb.objective);
+}
+
+TEST(CpSolver, TrailEngineSolvesDeterministically)
+{
+    auto m = windowModel(8, 5, 3, 6);
+    SolverParams params;
+    params.maxDecisions = 50000;
+    auto r1 = CpSolver(params).solve(m);
+    auto r2 = CpSolver(params).solve(m);
+    EXPECT_EQ(r1.status, r2.status);
+    EXPECT_EQ(r1.objective, r2.objective);
+    EXPECT_EQ(r1.decisions, r2.decisions);
+    EXPECT_EQ(r1.values, r2.values);
 }
 
 TEST(CpSolver, ScalesToOpgWindowSizedProblems)

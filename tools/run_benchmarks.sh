@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Build Release and emit BENCH_table4.json (solver wall time,
+# decisions/s, plan-memo effect) so successive PRs accumulate a perf
+# trajectory. Run from anywhere; artifacts land in the repo root.
+#
+# Usage: tools/run_benchmarks.sh [output.json]
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-bench"
+out_json="${1:-${repo_root}/BENCH_table4.json}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=Release -DBUILD_TESTING=OFF >/dev/null
+cmake --build "${build_dir}" -j --target bench_table4_solver_runtime
+
+"${build_dir}/bench_table4_solver_runtime" "${out_json}"
+echo "perf snapshot written to ${out_json}"
