@@ -192,6 +192,62 @@ cachedModel(ModelId id)
     return it->second;
 }
 
+const std::vector<Table4Model> &
+table4ModelSet()
+{
+    static const std::vector<std::pair<std::string, graph::Graph>>
+        cache = [] {
+            models::SyntheticTransformerCfg vit8b;
+            vit8b.name = "vit_8b";
+            vit8b.blocks = 40;
+            vit8b.dModel = 4096;
+            vit8b.heads = 32;
+            vit8b.vocab = 1000;
+
+            models::SyntheticTransformerCfg llama13;
+            llama13.name = "llama2_13b";
+            llama13.blocks = 40;
+            llama13.dModel = 5120;
+            llama13.heads = 40;
+            llama13.ffnHidden = 13824;
+            llama13.llamaStyle = true;
+
+            models::SyntheticTransformerCfg llama70;
+            llama70.name = "llama2_70b";
+            llama70.blocks = 80;
+            llama70.dModel = 8192;
+            llama70.heads = 64;
+            llama70.ffnHidden = 28672;
+            llama70.kvDim = 1024;
+            llama70.llamaStyle = true;
+
+            std::vector<std::pair<std::string, graph::Graph>> out;
+            out.emplace_back("GPTN-S",
+                             models::buildModel(ModelId::GPTNeoS));
+            out.emplace_back("GPTN-1.3B",
+                             models::buildModel(ModelId::GPTNeo1_3B));
+            out.emplace_back("GPTN-2.7B",
+                             models::buildModel(ModelId::GPTNeo2_7B));
+            out.emplace_back("ViT-8B",
+                             buildSyntheticTransformer(vit8b,
+                                                       Precision::FP16));
+            out.emplace_back(
+                "Llama2-13B",
+                buildSyntheticTransformer(llama13, Precision::FP16));
+            out.emplace_back(
+                "Llama2-70B",
+                buildSyntheticTransformer(llama70, Precision::FP16));
+            return out;
+        }();
+    static const std::vector<Table4Model> view = [] {
+        std::vector<Table4Model> out;
+        for (const auto &[name, g] : cache)
+            out.push_back({name, &g});
+        return out;
+    }();
+    return view;
+}
+
 const core::CompiledModel &
 cachedCompiled(const core::FlashMem &fm, ModelId id)
 {

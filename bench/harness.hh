@@ -77,6 +77,21 @@ std::string cellMs(const std::optional<core::RunResult> &r, bool init);
 /** Cache of built models so multi-table benches stay fast. */
 const graph::Graph &cachedModel(ModelId id);
 
+/** One Table-4 model: display name + cached graph. */
+struct Table4Model
+{
+    std::string name;
+    const graph::Graph *graph = nullptr;
+};
+
+/**
+ * The Table-4 model set — GPT-Neo S/1.3B/2.7B plus the synthetic
+ * ViT-8B, Llama2-13B, and Llama2-70B — built once and cached. Shared
+ * by bench_table4_solver_runtime and the fig-7 phase-breakdown bench,
+ * and the model set the parallel-planning determinism checks run on.
+ */
+const std::vector<Table4Model> &table4ModelSet();
+
 /** Cache of FlashMem compilations per device name. */
 const core::CompiledModel &cachedCompiled(const core::FlashMem &fm,
                                           ModelId id);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <future>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "solver/model.hh"
 
 namespace flashmem::core {
@@ -123,47 +125,81 @@ LcOpgPlanner::greedyAssign(
     return out;
 }
 
-LcOpgPlanner::WindowResult
-LcOpgPlanner::planWindow(graph::NodeId start, graph::NodeId end,
-                         OverlapPlan &plan)
+LcOpgPlanner::WindowInput
+LcOpgPlanner::stageWindow(graph::NodeId start, graph::NodeId end,
+                          std::vector<std::int64_t> &staging_residual,
+                          std::vector<std::int64_t> &staging_inflight)
+    const
 {
-    WindowResult result;
-    const std::int64_t mpeak_chunks = static_cast<std::int64_t>(
-        params_.mPeak / params_.chunkBytes);
+    WindowInput in;
+    in.start = start;
+    in.end = end;
 
     // Weights consumed inside this window, in consumer order (pinned
     // preload-list weights are handled by plan() directly).
-    std::vector<graph::WeightId> weights;
     for (const auto &w : g_.weights()) {
         if (w.consumer >= start && w.consumer < end &&
             !pinned_preload_[w.id])
-            weights.push_back(w.id);
+            in.weights.push_back(w.id);
     }
-    if (weights.empty())
-        return result;
-    std::sort(weights.begin(), weights.end(),
+    if (in.weights.empty())
+        return in;
+    std::sort(in.weights.begin(), in.weights.end(),
               [&](graph::WeightId a, graph::WeightId b) {
                   return g_.weight(a).consumer < g_.weight(b).consumer;
               });
 
     // Candidate transform layers per weight (earlier windows allowed
-    // through their residual capacity).
-    std::vector<std::vector<graph::NodeId>> cands(weights.size());
-    graph::NodeId min_cand = end;
-    for (std::size_t k = 0; k < weights.size(); ++k) {
-        const auto &w = g_.weight(weights[k]);
+    // through whatever staged residual capacity they left behind).
+    in.cands.resize(in.weights.size());
+    in.minCand = end;
+    for (std::size_t k = 0; k < in.weights.size(); ++k) {
+        const auto &w = g_.weight(in.weights[k]);
         graph::NodeId lo = std::max<graph::NodeId>(
             0, w.consumer - params_.maxLoadDistance);
         for (graph::NodeId l = lo; l < w.consumer; ++l) {
-            if (residual_capacity_[l] > 0) {
-                cands[k].push_back(l);
-                min_cand = std::min(min_cand, l);
+            if (staging_residual[l] > 0) {
+                in.cands[k].push_back(l);
+                in.minCand = std::min(in.minCand, l);
             }
         }
     }
 
-    auto greedy = greedyAssign(weights, residual_capacity_,
-                               inflight_used_);
+    in.greedy = greedyAssign(in.weights, staging_residual,
+                             staging_inflight);
+    in.residual = staging_residual;
+    in.inflight = staging_inflight;
+
+    // Reserve the greedy's capacity in the staging ledgers: windows
+    // staged after this one see the expected usage of this window, so
+    // their solves can start before this window's solver finishes.
+    const auto &w_list = in.weights;
+    for (std::size_t k = 0; k < w_list.size(); ++k) {
+        const auto consumer = g_.weight(w_list[k]).consumer;
+        for (const auto &[l, c] : in.greedy.assignments[k]) {
+            staging_residual[l] -= c;
+            for (graph::NodeId p = l; p < consumer; ++p)
+                staging_inflight[p] += c;
+        }
+    }
+    return in;
+}
+
+LcOpgPlanner::WindowOutput
+LcOpgPlanner::solveWindow(const WindowInput &in) const
+{
+    WindowOutput out;
+    WindowResult &result = out.result;
+    const std::int64_t mpeak_chunks = static_cast<std::int64_t>(
+        params_.mPeak / params_.chunkBytes);
+
+    const auto &weights = in.weights;
+    const auto &cands = in.cands;
+    const auto &greedy = in.greedy;
+    const graph::NodeId end = in.end;
+    const graph::NodeId min_cand = in.minCand;
+    if (weights.empty())
+        return out;
 
     // Tier-3 guard: windows whose CP model would be degenerate or too
     // large run on the greedy backup directly.
@@ -173,11 +209,11 @@ LcOpgPlanner::planWindow(graph::NodeId start, graph::NodeId end,
     bool use_greedy = var_estimate > 2000;
 
     // Solver attempt with C4 fallback tiers.
-    std::vector<std::int64_t> extracted_preload;
+    std::vector<std::int64_t> &extracted_preload = out.preload;
     std::vector<std::vector<std::pair<graph::NodeId, std::int64_t>>>
-        extracted_assign;
-    std::vector<graph::NodeId> extracted_z(weights.size(),
-                                           graph::kInvalidNode);
+        &extracted_assign = out.assign;
+    out.z.assign(weights.size(), graph::kInvalidNode);
+    std::vector<graph::NodeId> &extracted_z = out.z;
 
     if (!use_greedy) {
         double relax = 1.0;
@@ -209,7 +245,7 @@ LcOpgPlanner::planWindow(graph::NodeId start, graph::NodeId end,
                     std::int64_t cap = std::min<std::int64_t>(
                         {t_w,
                          static_cast<std::int64_t>(
-                             static_cast<double>(residual_capacity_[l]) *
+                             static_cast<double>(in.residual[l]) *
                              relax),
                          mpeak_chunks});
                     auto x = m.newIntVar(0, std::max<std::int64_t>(cap,
@@ -266,8 +302,7 @@ LcOpgPlanner::planWindow(graph::NodeId start, graph::NodeId end,
                 if (!col.empty()) {
                     m.addLessOrEqual(
                         col, static_cast<std::int64_t>(
-                                 static_cast<double>(
-                                     residual_capacity_[l]) *
+                                 static_cast<double>(in.residual[l]) *
                                  relax));
                 }
             }
@@ -287,7 +322,7 @@ LcOpgPlanner::planWindow(graph::NodeId start, graph::NodeId end,
                 if (!inflight.empty()) {
                     m.addLessOrEqual(inflight, std::max<std::int64_t>(
                                                    mpeak_chunks -
-                                                       inflight_used_[p],
+                                                       in.inflight[p],
                                                    0));
                 }
             }
@@ -300,10 +335,13 @@ LcOpgPlanner::planWindow(graph::NodeId start, graph::NodeId end,
             // at least as good as the greedy hint. Validation guards
             // against fingerprint collisions: an entry that does not
             // satisfy this model is ignored, keeping the greedy hint.
+            // Lookups see only pre-plan() memo state (stores from this
+            // plan are buffered until the ordered merge), so window
+            // results cannot depend on solve completion order.
             std::uint64_t fp = 0;
             if (params_.planMemo) {
                 fp = m.fingerprint();
-                auto cached = PlanMemo::global().lookup(fp);
+                auto cached = memoRef().lookup(fp);
                 if (cached && m.satisfiedBy(*cached)) {
                     hint = std::move(*cached);
                     ++result.memoHits;
@@ -314,15 +352,15 @@ LcOpgPlanner::planWindow(graph::NodeId start, graph::NodeId end,
             sp.timeLimitSeconds = params_.solverTimePerWindow;
             sp.maxDecisions = params_.solverDecisionsPerWindow;
             sp.engine = params_.solverEngine;
+            sp.restartConflictBase = params_.restartConflictBase;
             auto r = solver::CpSolver(sp).solve(m, &hint);
             result.solveSeconds += r.wallSeconds;
             result.decisions += r.decisions;
+            result.restarts += r.restarts;
             result.status = r.status;
 
-            if (params_.planMemo && r.feasible() &&
-                PlanMemo::global().store(fp, r.values, r.objective)) {
-                ++result.memoStores;
-            }
+            if (params_.planMemo && r.feasible())
+                out.memoStores.push_back({fp, r.values, r.objective});
 
             if (!r.feasible()) {
                 // Tier 1: soft-threshold relaxation of C_l.
@@ -395,26 +433,72 @@ LcOpgPlanner::planWindow(graph::NodeId start, graph::NodeId end,
         }
         result.status = solver::SolveStatus::Feasible;
     }
+    return out;
+}
 
-    // Commit into the plan and the cross-window bookkeeping.
-    for (std::size_t k = 0; k < weights.size(); ++k) {
-        auto wid = weights[k];
+void
+LcOpgPlanner::commitWindow(const WindowInput &in, WindowOutput &out,
+                           OverlapPlan &plan, PlanStats &stats)
+{
+    const std::int64_t mpeak_chunks = static_cast<std::int64_t>(
+        params_.mPeak / params_.chunkBytes);
+
+    // Commit into the plan and the authoritative ledgers, clamping to
+    // what is really left: a window may have solved against a staged
+    // snapshot that an earlier window's solver overshot (relative to
+    // its greedy reservation), and the overflow moves to preload.
+    for (std::size_t k = 0; k < in.weights.size(); ++k) {
+        auto wid = in.weights[k];
         const auto &w = g_.weight(wid);
-        plan.setPreloadChunks(wid, extracted_preload[k]);
-        for (auto &[l, c] : extracted_assign[k]) {
-            plan.addAssignment(wid, l, c);
-            residual_capacity_[l] -= c;
-            FM_ASSERT(residual_capacity_[l] >= -1,
-                      "capacity overdraft at layer ", l);
-            residual_capacity_[l] =
-                std::max<std::int64_t>(residual_capacity_[l], 0);
+        std::int64_t preload = out.preload[k];
+        graph::NodeId first_kept = graph::kInvalidNode;
+        std::vector<std::pair<graph::NodeId, std::int64_t>> kept;
+        kept.reserve(out.assign[k].size());
+        for (auto &[l, c] : out.assign[k]) {
+            std::int64_t take =
+                std::min(c, residual_capacity_[l]);
+            for (graph::NodeId p = l; p < w.consumer && take > 0; ++p)
+                take = std::min(take,
+                                mpeak_chunks - inflight_used_[p]);
+            if (take <= 0) {
+                preload += c;
+                continue;
+            }
+            preload += c - take;
+            residual_capacity_[l] -= take;
             for (graph::NodeId p = l; p < w.consumer; ++p)
-                inflight_used_[p] += c;
+                inflight_used_[p] += take;
+            kept.push_back({l, take});
+            if (first_kept == graph::kInvalidNode || l < first_kept)
+                first_kept = l;
         }
-        if (!extracted_assign[k].empty())
-            plan.setEarliestLoad(wid, extracted_z[k]);
+        plan.setPreloadChunks(wid, preload);
+        for (auto &[l, c] : kept)
+            plan.addAssignment(wid, l, c);
+        if (!kept.empty()) {
+            // z_w from the solver when it survives the clamp (C1
+            // guarantees z <= first assigned layer); first kept layer
+            // otherwise.
+            graph::NodeId z = out.z[k];
+            if (z == graph::kInvalidNode || z > first_kept)
+                z = first_kept;
+            plan.setEarliestLoad(wid, z);
+        }
     }
-    return result;
+
+    // Flush buffered memo writes in window order.
+    for (auto &s : out.memoStores) {
+        if (memoRef().store(s.fingerprint, std::move(s.values),
+                            s.objective))
+            ++stats.memoStores;
+    }
+    out.memoStores.clear();
+}
+
+PlanMemo &
+LcOpgPlanner::memoRef() const
+{
+    return params_.memo ? *params_.memo : PlanMemo::global();
 }
 
 OverlapPlan
@@ -432,21 +516,67 @@ LcOpgPlanner::plan(PlanStats *stats)
                                   chunk_count_[w]);
         }
     }
+    // Phase 1 — stage: sequential pass computing every window's inputs
+    // against the staging ledgers (greedy reservations decouple the
+    // windows from each other).
+    auto stage_t0 = std::chrono::steady_clock::now();
     const auto layers = static_cast<graph::NodeId>(g_.layerCount());
-    for (graph::NodeId start = 0; start < layers;
-         start += params_.windowLayers) {
-        graph::NodeId end =
-            std::min<graph::NodeId>(start + params_.windowLayers,
-                                    layers);
-        auto wr = planWindow(start, end, plan);
+    std::vector<WindowInput> inputs;
+    {
+        auto staging_residual = capacity_chunks_;
+        std::vector<std::int64_t> staging_inflight(layers, 0);
+        for (graph::NodeId start = 0; start < layers;
+             start += params_.windowLayers) {
+            graph::NodeId end =
+                std::min<graph::NodeId>(start + params_.windowLayers,
+                                        layers);
+            inputs.push_back(stageWindow(start, end, staging_residual,
+                                         staging_inflight));
+        }
+    }
+    local.stageSeconds = secondsSince(stage_t0);
+
+    // Phase 2 — solve: windows run concurrently; futures are consumed
+    // in submission (window) order, so downstream phases never observe
+    // completion order.
+    const int threads =
+        params_.parallel.threads > 0
+            ? params_.parallel.threads
+            : ThreadPool::defaultThreadCount();
+    local.threads = threads;
+    auto solve_t0 = std::chrono::steady_clock::now();
+    std::vector<WindowOutput> outputs;
+    outputs.reserve(inputs.size());
+    {
+        ThreadPool pool(threads);
+        std::vector<std::future<WindowOutput>> futures;
+        futures.reserve(inputs.size());
+        for (const auto &in : inputs) {
+            futures.push_back(
+                pool.submit([this, &in]() { return solveWindow(in); }));
+        }
+        for (auto &f : futures)
+            outputs.push_back(f.get());
+    }
+    local.solveSeconds = secondsSince(solve_t0);
+
+    // Phase 3 — merge: commit in window order into the plan and the
+    // authoritative ledgers (and flush the buffered memo writes).
+    auto merge_t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        commitWindow(inputs[i], outputs[i], plan, local);
+    local.mergeSeconds = secondsSince(merge_t0);
+
+    for (const auto &out : outputs) {
+        const auto &wr = out.result;
         ++local.windows;
         local.buildModelSeconds += wr.buildSeconds;
-        local.solveSeconds += wr.solveSeconds;
+        local.solveCpuSeconds += wr.solveSeconds;
         local.solverDecisions += wr.decisions;
+        local.solverRestarts += wr.restarts;
         local.softRelaxations += wr.softRelaxations;
         local.forcedPreloads += wr.forcedPreloads;
         local.memoHits += wr.memoHits;
-        local.memoStores += wr.memoStores;
         if (wr.usedGreedy) {
             ++local.greedyWindows;
         } else if (wr.status == solver::SolveStatus::Optimal) {

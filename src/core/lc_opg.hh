@@ -17,6 +17,18 @@
  * small; a greedy warm start seeds the search; and the C4 tiered
  * fallback (soft-threshold relaxation -> incremental preloading ->
  * greedy backup) guarantees a plan within the time limit.
+ *
+ * Whole-plan generation is a three-phase pipeline (PR 2):
+ *   1. stage  — sequential: each window's inputs (weight slice,
+ *      candidates, greedy warm start, residual-capacity snapshot) are
+ *      computed up front, with the greedy acting as the staged
+ *      capacity reservation for windows that follow;
+ *   2. solve  — parallel: windows solve concurrently on a ThreadPool
+ *      (ParallelPlanParams::threads), each a pure function of its
+ *      staged input;
+ *   3. merge  — sequential, in window order: solutions commit into the
+ *      authoritative capacity ledgers with clamping, so the final plan
+ *      is valid and byte-identical for any thread count.
  */
 
 #ifndef FLASHMEM_CORE_LC_OPG_HH
@@ -31,6 +43,18 @@
 #include "solver/solver.hh"
 
 namespace flashmem::core {
+
+/**
+ * Parallel window-solving knobs. Whole-plan generation runs as a
+ * three-phase pipeline — stage (sequential), solve (parallel on a
+ * ThreadPool), merge (sequential, in window order) — so the merged
+ * OverlapPlan is byte-identical for any thread count.
+ */
+struct ParallelPlanParams
+{
+    /** Worker threads for window solves; 0 = hardware_concurrency. */
+    int threads = 0;
+};
 
 /** OPG hyper-parameters (paper Sections 3.1-3.2). */
 struct OpgParams
@@ -76,16 +100,37 @@ struct OpgParams
      * cached incumbent bounds the new search).
      */
     bool planMemo = true;
+    /**
+     * Memo instance to consult; nullptr means PlanMemo::global().
+     * Point this at a file-backed PlanMemo (see PlanMemo::memoPath) so
+     * CLI tools and benches warm-start across process launches.
+     */
+    PlanMemo *memo = nullptr;
     /** CP search kernel (Baseline kept for before/after benches). */
     solver::SearchEngine solverEngine = solver::SearchEngine::Trail;
+    /**
+     * Luby restart base (conflicts) for window solves; 0 = off.
+     * Useful on budget-truncated (FEASIBLE) windows, where restarts
+     * with solution phase saving keep incumbent quality under the same
+     * decision budget; leave off when windows are expected to prove
+     * optimality (restart overhead delays exhaustion proofs).
+     */
+    std::uint64_t restartConflictBase = 0;
+    /** Window-solve parallelism (plan stays byte-identical). */
+    ParallelPlanParams parallel;
 };
 
 /** Offline-stage statistics (paper Table 4 columns). */
 struct PlanStats
 {
     double processNodesSeconds = 0.0;   ///< graph analysis + capacities
-    double buildModelSeconds = 0.0;     ///< CP model construction
-    double solveSeconds = 0.0;          ///< CP-SAT search
+    double stageSeconds = 0.0;          ///< window staging (sequential)
+    double buildModelSeconds = 0.0;     ///< CP model construction (CPU, summed)
+    /** Wall-clock of the (parallel) solve phase — the Table-4 column. */
+    double solveSeconds = 0.0;
+    /** Per-window solve time summed across workers (CPU-ish). */
+    double solveCpuSeconds = 0.0;
+    double mergeSeconds = 0.0;          ///< ordered commit + validation bookkeeping
     solver::SolveStatus overallStatus = solver::SolveStatus::Optimal;
     int windows = 0;
     int optimalWindows = 0;
@@ -93,7 +138,9 @@ struct PlanStats
     int softRelaxations = 0;            ///< C4 tier-1 events
     int forcedPreloads = 0;             ///< C4 tier-2 events
     int greedyWindows = 0;              ///< C4 tier-3 events
+    int threads = 1;                    ///< worker threads used to solve
     std::uint64_t solverDecisions = 0;
+    std::uint64_t solverRestarts = 0;   ///< Luby restarts across windows
     std::uint64_t memoHits = 0;         ///< plan-memo warm starts used
     std::uint64_t memoStores = 0;       ///< incumbents written back
 };
@@ -130,23 +177,17 @@ class LcOpgPlanner
         int forcedPreloads = 0;
         solver::SolveStatus status = solver::SolveStatus::Optimal;
         std::uint64_t decisions = 0;
+        std::uint64_t restarts = 0;
         double buildSeconds = 0.0;
         double solveSeconds = 0.0;
         std::uint64_t memoHits = 0;
-        std::uint64_t memoStores = 0;
     };
-
-    /** Analyze graph: kernel specs, capacities, chunk counts. */
-    void processNodes();
-
-    /** Plan one window [start, end); appends into @p plan. */
-    WindowResult planWindow(graph::NodeId start, graph::NodeId end,
-                            OverlapPlan &plan);
 
     /**
      * Greedy latest-feasible chunk placement for the given weights;
      * returns per-weight (assignments, preload leftovers). Used as the
-     * warm start and as the tier-3 fallback.
+     * warm start, the tier-3 fallback, and the staged capacity
+     * reservation that decouples windows for parallel solving.
      */
     struct GreedyOut
     {
@@ -155,10 +196,87 @@ class LcOpgPlanner
             assignments;
         std::vector<std::int64_t> preload;
     };
+
+    /**
+     * Everything one window solve needs, captured up front by the
+     * sequential staging pass: the weight slice, candidate layers,
+     * greedy warm start, and snapshots of the staged residual-capacity
+     * and in-flight ledgers. Once staged, solveWindow() is a pure
+     * function of this struct (plus the read-only planner fields), so
+     * windows solve concurrently and deterministically.
+     */
+    struct WindowInput
+    {
+        graph::NodeId start = 0;
+        graph::NodeId end = 0;
+        std::vector<graph::WeightId> weights;       // consumer order
+        std::vector<std::vector<graph::NodeId>> cands;
+        graph::NodeId minCand = 0;
+        GreedyOut greedy;
+        std::vector<std::int64_t> residual;         // staged snapshot
+        std::vector<std::int64_t> inflight;         // staged snapshot
+    };
+
+    /** Deferred PlanMemo write (flushed in window order at merge). */
+    struct MemoStore
+    {
+        std::uint64_t fingerprint = 0;
+        std::vector<std::int64_t> values;
+        std::int64_t objective = 0;
+    };
+
+    /** Extracted window solution + stats + buffered memo writes. */
+    struct WindowOutput
+    {
+        WindowResult result;
+        std::vector<std::int64_t> preload;          // per weight
+        std::vector<std::vector<std::pair<graph::NodeId, std::int64_t>>>
+            assign;
+        std::vector<graph::NodeId> z;
+        std::vector<MemoStore> memoStores;
+    };
+
+    /** Analyze graph: kernel specs, capacities, chunk counts. */
+    void processNodes();
+
+    /**
+     * Stage one window [start, end): collect its weights/candidates,
+     * compute the greedy warm start against the staging ledgers, then
+     * reserve the greedy's capacity in them (so later windows stage
+     * against this window's expected usage).
+     */
+    WindowInput stageWindow(graph::NodeId start, graph::NodeId end,
+                            std::vector<std::int64_t> &staging_residual,
+                            std::vector<std::int64_t> &staging_inflight)
+        const;
+
+    /**
+     * Solve one staged window (CP with C4 fallback tiers). Pure with
+     * respect to planner state — safe to run concurrently. PlanMemo
+     * reads go to the shared memo; writes are buffered in the output
+     * and flushed at merge time, keeping plans independent of solve
+     * completion order.
+     */
+    WindowOutput solveWindow(const WindowInput &in) const;
+
+    /**
+     * Merge one window's solution into the plan and the authoritative
+     * residual/in-flight ledgers, in window order. Assignments that
+     * exceed the real residual capacity (possible when a window's
+     * solver used more of a shared layer than the greedy reservation
+     * staged for it) are clamped, with the overflow moved to the
+     * preload set — validity is unconditional.
+     */
+    void commitWindow(const WindowInput &in, WindowOutput &out,
+                      OverlapPlan &plan, PlanStats &stats);
+
     GreedyOut greedyAssign(
         const std::vector<graph::WeightId> &weights,
         const std::vector<std::int64_t> &residual_capacity,
         const std::vector<std::int64_t> &inflight_used) const;
+
+    /** Memo instance window solves consult (params_.memo or global). */
+    PlanMemo &memoRef() const;
 
     const graph::Graph &g_;
     const profiler::CapacityProvider &capacity_;
@@ -171,7 +289,7 @@ class LcOpgPlanner
     std::vector<std::int64_t> capacity_chunks_;      // C_l per layer
     std::vector<std::int64_t> chunk_count_;          // T(w) per weight
     std::vector<bool> pinned_preload_;               // explicit W list
-    // Cross-window state.
+    // Authoritative cross-window ledgers (written only at merge).
     std::vector<std::int64_t> residual_capacity_;    // C_l minus spent
     std::vector<std::int64_t> inflight_used_;        // M_peak usage/layer
 };

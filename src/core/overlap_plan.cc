@@ -1,6 +1,8 @@
 #include "core/overlap_plan.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -263,6 +265,113 @@ PlanMemo::global()
 {
     static PlanMemo memo;
     return memo;
+}
+
+namespace {
+
+/** Magic prefix of the memo file ("FMPM"). */
+constexpr std::uint32_t kMemoMagic = 0x464D504D;
+
+template <typename T>
+void
+putPod(std::ostream &os, T value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+template <typename T>
+bool
+getPod(std::istream &is, T &value)
+{
+    is.read(reinterpret_cast<char *>(&value), sizeof(value));
+    return is.good();
+}
+
+} // namespace
+
+bool
+PlanMemo::loadFromFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+
+    std::uint32_t magic = 0, version = 0;
+    std::uint64_t count = 0, clock = 0;
+    if (!getPod(in, magic) || magic != kMemoMagic ||
+        !getPod(in, version) || version != kFileVersion ||
+        !getPod(in, clock) || !getPod(in, count))
+        return false;
+
+    // Parse into a scratch map first so a truncated file cannot leave
+    // the memo half-loaded.
+    std::unordered_map<std::uint64_t, Entry> loaded;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t fp = 0, last_use = 0, nvalues = 0;
+        std::int64_t objective = 0;
+        if (!getPod(in, fp) || !getPod(in, objective) ||
+            !getPod(in, last_use) || !getPod(in, nvalues))
+            return false;
+        // Sanity bound: one OPG window has at most a few thousand
+        // variables; reject absurd counts from corrupt files.
+        if (nvalues > (1u << 22))
+            return false;
+        Entry e;
+        e.objective = objective;
+        e.lastUse = last_use;
+        e.values.resize(nvalues);
+        if (nvalues &&
+            !in.read(reinterpret_cast<char *>(e.values.data()),
+                     static_cast<std::streamsize>(nvalues *
+                                                  sizeof(std::int64_t)))
+                 .good())
+            return false;
+        loaded.emplace(fp, std::move(e));
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_ = std::move(loaded);
+    clock_ = clock;
+    // Respect the capacity bound of *this* memo, evicting LRU-first.
+    while (entries_.size() > capacity_) {
+        auto victim = entries_.begin();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        entries_.erase(victim);
+    }
+    return true;
+}
+
+bool
+PlanMemo::saveToFile(const std::string &path) const
+{
+    // Write-then-rename so a crash mid-save never corrupts the file a
+    // later launch will load.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        std::lock_guard<std::mutex> lock(mu_);
+        putPod(out, kMemoMagic);
+        putPod(out, kFileVersion);
+        putPod(out, clock_);
+        putPod(out, static_cast<std::uint64_t>(entries_.size()));
+        for (const auto &[fp, e] : entries_) {
+            putPod(out, fp);
+            putPod(out, e.objective);
+            putPod(out, e.lastUse);
+            putPod(out, static_cast<std::uint64_t>(e.values.size()));
+            out.write(reinterpret_cast<const char *>(e.values.data()),
+                      static_cast<std::streamsize>(
+                          e.values.size() * sizeof(std::int64_t)));
+        }
+        if (!out.good())
+            return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
 OverlapPlan

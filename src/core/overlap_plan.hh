@@ -110,17 +110,37 @@ class OverlapPlan
  *
  * Bounded LRU; the global() instance is shared process-wide and
  * internally synchronized (lookup() hands back a copy, never a pointer
- * into the map). Note that warm starts make budget-truncated planning
- * history-dependent within a process: equal-footing A/B comparisons
- * should clear() between arms (see bench_fig7 / ablation tests).
+ * into the map), so concurrent window solves can share it. Note that
+ * warm starts make budget-truncated planning history-dependent within
+ * a process: equal-footing A/B comparisons should clear() between arms
+ * (see bench_fig7 / ablation tests).
+ *
+ * A memo constructed with @p memoPath is file-backed: entries load on
+ * construction (silently starting empty when the file is missing,
+ * corrupt, or a different format version) and save on destruction, so
+ * CLI tools and benches warm-start across process launches. The file
+ * is a versioned binary keyed by CpModel fingerprint.
  */
 class PlanMemo
 {
   public:
-    explicit PlanMemo(std::size_t capacity = 1024)
-        : capacity_(std::max<std::size_t>(capacity, 1))
+    explicit PlanMemo(std::size_t capacity = 1024,
+                      std::string memoPath = {})
+        : capacity_(std::max<std::size_t>(capacity, 1)),
+          memo_path_(std::move(memoPath))
     {
+        if (!memo_path_.empty())
+            loadFromFile(memo_path_);
     }
+
+    ~PlanMemo()
+    {
+        if (!memo_path_.empty())
+            saveToFile(memo_path_);
+    }
+
+    PlanMemo(const PlanMemo &) = delete;
+    PlanMemo &operator=(const PlanMemo &) = delete;
 
     /** Cached incumbent for @p fingerprint, if any. */
     std::optional<std::vector<std::int64_t>> lookup(
@@ -162,6 +182,23 @@ class PlanMemo
     /** Process-wide memo shared by all planners. */
     static PlanMemo &global();
 
+    /**
+     * Replace the contents with the entries serialized in @p path.
+     * @return false — leaving the previous contents untouched — when
+     * the file is absent, truncated, or not a supported format
+     * version.
+     */
+    bool loadFromFile(const std::string &path);
+
+    /** Serialize every entry to @p path (versioned binary). */
+    bool saveToFile(const std::string &path) const;
+
+    /** Backing file ("" when the memo is memory-only). */
+    const std::string &memoPath() const { return memo_path_; }
+
+    /** On-disk format version written by saveToFile(). */
+    static constexpr std::uint32_t kFileVersion = 1;
+
   private:
     struct Entry
     {
@@ -173,6 +210,7 @@ class PlanMemo
     void evictIfNeeded(); // caller holds mu_
 
     const std::size_t capacity_;
+    const std::string memo_path_;
     mutable std::mutex mu_;
     std::uint64_t clock_ = 0;
     std::unordered_map<std::uint64_t, Entry> entries_;

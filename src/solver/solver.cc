@@ -42,14 +42,33 @@ objectiveOf(const CpModel &model, const std::vector<std::int64_t> &values)
     return s;
 }
 
+/**
+ * Luby restart sequence (Luby/Sinclair/Zuckerman 1993), 1-indexed:
+ * 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+ */
+std::uint64_t
+luby(std::uint64_t i)
+{
+    for (;;) {
+        std::uint64_t k = 1;
+        while ((1ull << k) - 1 < i)
+            ++k;
+        if ((1ull << k) - 1 == i)
+            return 1ull << (k - 1);
+        i -= (1ull << (k - 1)) - 1;
+    }
+}
+
 // ===================================================== Trail engine
 
 /**
  * Trail-based DFS branch and bound. Per-node cost is proportional to
  * the number of bound changes, not to V or to the constraint count:
  * backtracking rewinds the trail, propagation drains a dirty queue fed
- * by per-variable watch lists, the objective lower bound is maintained
- * incrementally, and variable selection pops a lazy heap.
+ * by per-variable watch lists, the objective lower bound AND every
+ * linear row's smin/smax are maintained incrementally (sum-restore
+ * entries on the trail), and variable selection pops a lazy heap.
+ * Optional Luby restarts with solution phase saving (see SolverParams).
  */
 struct TrailSearch
 {
@@ -62,6 +81,21 @@ struct TrailSearch
     std::vector<std::int64_t> objCoef;
     /** Incremental objective lower bound over current domains. */
     std::int64_t objMin = 0;
+
+    /**
+     * Trailed per-constraint partial sums: slot 2*ci holds smin (the
+     * row's minimum over current domains), slot 2*ci+1 holds smax.
+     * Updated by delta on every bound change via varCons and restored
+     * exactly on rewind, so reviseLinear never re-sums a full row.
+     */
+    std::vector<std::int64_t> conSums;
+    /** (constraint, coef) for every term mentioning a variable. */
+    struct VarCon
+    {
+        std::int32_t con = -1;
+        std::int64_t coef = 0;
+    };
+    std::vector<std::vector<VarCon>> varCons;
 
     // Incumbent.
     bool haveIncumbent = false;
@@ -99,11 +133,22 @@ struct TrailSearch
     std::vector<HeapEntry> heap;
     std::vector<double> activity;
     double activityInc = 1.0;
+    // Deferred heap maintenance: changed variables are only marked
+    // here; flushDirtyVars() pushes one fresh entry per variable right
+    // before selection. A variable tightened several times between two
+    // decisions costs one push instead of one per change, and the lazy
+    // validity check on pop keeps selection order identical.
+    std::vector<char> varDirty;
+    std::vector<VarId> dirtyVars;
 
-    // Stats / limits.
+    // Stats / limits / restarts.
     std::uint64_t decisions = 0;
     std::uint64_t propagations = 0;
     std::uint64_t backtracks = 0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t conflictLimit = 0; ///< next restart point (conflicts)
+    std::uint64_t restarts = 0;
+    bool restartPending = false;
     bool limitHit = false;
     std::chrono::steady_clock::time_point deadline;
 
@@ -118,6 +163,15 @@ struct TrailSearch
         if (params.maxDecisions && decisions >= params.maxDecisions)
             limitHit = true;
         return limitHit;
+    }
+
+    /** Conflict bookkeeping shared by propagation and branching. */
+    void
+    noteConflict()
+    {
+        ++conflicts;
+        if (params.restartConflictBase && conflicts >= conflictLimit)
+            restartPending = true;
     }
 
     void
@@ -141,7 +195,30 @@ struct TrailSearch
                       (objCoef[v] >= 0 ? dom.lb(v) : dom.ub(v));
         }
 
+        // Root partial sums per constraint + the var -> (row, coef)
+        // adjacency that keeps them incremental from here on.
+        const auto ncons = m.constraints().size();
+        conSums.assign(2 * ncons, 0);
+        varCons.assign(n, {});
+        for (std::size_t ci = 0; ci < ncons; ++ci) {
+            const auto &c = m.constraints()[ci];
+            for (const auto &t : c.terms) {
+                if (t.coef >= 0) {
+                    conSums[2 * ci] += t.coef * dom.lb(t.var);
+                    conSums[2 * ci + 1] += t.coef * dom.ub(t.var);
+                } else {
+                    conSums[2 * ci] += t.coef * dom.ub(t.var);
+                    conSums[2 * ci + 1] += t.coef * dom.lb(t.var);
+                }
+                varCons[t.var].push_back(
+                    {static_cast<std::int32_t>(ci), t.coef});
+            }
+        }
+        dom.trackSums(&conSums);
+
         activity.assign(n, 0.0);
+        varDirty.assign(n, 0);
+        dirtyVars.clear();
         heap.clear();
         heap.reserve(n);
         for (VarId v = 0; v < static_cast<VarId>(n); ++v) {
@@ -166,10 +243,33 @@ struct TrailSearch
         std::push_heap(heap.begin(), heap.end(), HeapWorse{});
     }
 
+    /** Mark @p v for a heap refresh at the next selection point. */
+    void
+    markDirty(VarId v)
+    {
+        if (!varDirty[v]) {
+            varDirty[v] = 1;
+            dirtyVars.push_back(v);
+        }
+    }
+
+    /** Push one fresh entry per dirty, still-unfixed variable. */
+    void
+    flushDirtyVars()
+    {
+        for (auto v : dirtyVars) {
+            varDirty[v] = 0;
+            if (dom.domainSize(v) > 0)
+                pushHeap(v);
+        }
+        dirtyVars.clear();
+    }
+
     /** Pop the unfixed variable with the smallest current domain. */
     VarId
     pickVariable()
     {
+        flushDirtyVars();
         while (!heap.empty()) {
             HeapEntry e = heap.front();
             std::pop_heap(heap.begin(), heap.end(), HeapWorse{});
@@ -215,8 +315,7 @@ struct TrailSearch
             enqueue(c);
         for (auto i : model->implicationsWatching(v))
             enqueue(ncons + i);
-        if (dom.domainSize(v) > 0)
-            pushHeap(v);
+        markDirty(v);
     }
 
     /** @return false when the domain wipes out (conflict). */
@@ -225,8 +324,15 @@ struct TrailSearch
     {
         if (x <= dom.lb(v))
             return true;
+        const std::int64_t delta = x - dom.lb(v);
         if (objCoef[v] > 0)
-            objMin += objCoef[v] * (x - dom.lb(v));
+            objMin += objCoef[v] * delta;
+        // A raised lb moves smin for coef >= 0 rows (smin tracks lb
+        // there) and smax for coef < 0 rows (smax tracks lb there).
+        for (const auto &vc : varCons[v]) {
+            dom.addToSum(vc.coef >= 0 ? 2 * vc.con : 2 * vc.con + 1,
+                         vc.coef * delta);
+        }
         dom.tightenLb(v, x);
         if (dom.empty(v))
             return false;
@@ -239,8 +345,13 @@ struct TrailSearch
     {
         if (x >= dom.ub(v))
             return true;
+        const std::int64_t delta = x - dom.ub(v);
         if (objCoef[v] < 0)
-            objMin += objCoef[v] * (x - dom.ub(v));
+            objMin += objCoef[v] * delta;
+        for (const auto &vc : varCons[v]) {
+            dom.addToSum(vc.coef >= 0 ? 2 * vc.con + 1 : 2 * vc.con,
+                         vc.coef * delta);
+        }
         dom.tightenUb(v, x);
         if (dom.empty(v))
             return false;
@@ -261,23 +372,16 @@ struct TrailSearch
         }
     }
 
-    std::vector<VarId> touched; // scratch for rewindTo()
-
     void
     rewindTo(std::size_t mark)
     {
-        // Collect restored vars so each gets one fresh heap entry
-        // reflecting its (re-grown) domain size.
+        // Restored vars are marked dirty so each gets one fresh heap
+        // entry (reflecting its re-grown domain) at the next pick.
         dom.rewindTo(mark, [&](VarId v, bool isUpper, std::int64_t cur,
                                std::int64_t old) {
             onUndo(v, isUpper, cur, old);
-            touched.push_back(v);
+            markDirty(v);
         });
-        for (auto v : touched) {
-            if (dom.domainSize(v) > 0)
-                pushHeap(v);
-        }
-        touched.clear();
         compactHeapIfNeeded();
     }
 
@@ -315,41 +419,56 @@ struct TrailSearch
         queueHead = 0;
     }
 
-    /** One bounds-consistency revision of linear constraint @p ci. */
+    /**
+     * One bounds-consistency revision of linear constraint @p ci.
+     * The row's smin/smax come from the trailed partial sums, so the
+     * conflict and entailment checks are O(1); only a row that can
+     * actually tighten something pays a per-term pass, and the sums
+     * stay consistent automatically because tightenLb/Ub route every
+     * delta through dom.addToSum().
+     */
     bool
     reviseLinear(std::int32_t ci)
     {
         const auto &c = model->constraints()[ci];
-        std::int64_t smin = 0, smax = 0;
-        for (const auto &t : c.terms) {
-            if (t.coef >= 0) {
-                smin += t.coef * dom.lb(t.var);
-                smax += t.coef * dom.ub(t.var);
-            } else {
-                smin += t.coef * dom.ub(t.var);
-                smax += t.coef * dom.lb(t.var);
-            }
+        {
+            const std::int64_t smin = conSums[2 * ci];
+            const std::int64_t smax = conSums[2 * ci + 1];
+            if (smin > c.hi || smax < c.lo)
+                return false;
+            // Entailed: no term can be tightened (coef*v <= c.hi -
+            // others_min is implied by smax <= c.hi, and symmetrically
+            // for lo), so skip the per-term division pass entirely.
+            if (smin >= c.lo && smax <= c.hi)
+                return true;
         }
-        if (smin > c.hi || smax < c.lo)
-            return false;
-        // Entailed: no term can be tightened (coef*v <= c.hi - others_min
-        // is implied by smax <= c.hi, and symmetrically for lo), so skip
-        // the per-term division pass entirely.
-        if (smin >= c.lo && smax <= c.hi)
-            return true;
 
         for (const auto &t : c.terms) {
-            // Bounds of the sum excluding this term.
+            const std::int64_t lb_v = dom.lb(t.var);
+            const std::int64_t ub_v = dom.ub(t.var);
+            if (lb_v == ub_v)
+                continue; // fixed: nothing to tighten
+            // Bounds of the sum excluding this term, against the live
+            // sums (earlier iterations may have tightened them).
             std::int64_t tmin, tmax;
             if (t.coef >= 0) {
-                tmin = t.coef * dom.lb(t.var);
-                tmax = t.coef * dom.ub(t.var);
+                tmin = t.coef * lb_v;
+                tmax = t.coef * ub_v;
             } else {
-                tmin = t.coef * dom.ub(t.var);
-                tmax = t.coef * dom.lb(t.var);
+                tmin = t.coef * ub_v;
+                tmax = t.coef * lb_v;
             }
-            std::int64_t others_min = smin - tmin;
-            std::int64_t others_max = smax - tmax;
+            // One-multiply tightenability filter: the term's value
+            // coef*v spans [tmin, tmax]; the row only forces
+            // coef*v - tmin <= c.hi - smin and tmax - coef*v <= smax -
+            // c.lo, so unless the span exceeds one of those slacks the
+            // division pass below cannot change anything.
+            const std::int64_t width = tmax - tmin;
+            if (width <= c.hi - conSums[2 * ci] &&
+                width <= conSums[2 * ci + 1] - c.lo)
+                continue;
+            std::int64_t others_min = conSums[2 * ci] - tmin;
+            std::int64_t others_max = conSums[2 * ci + 1] - tmax;
             // c.lo - others_max <= coef*v <= c.hi - others_min.
             std::int64_t lo_num = c.lo == -kInf ? -kInf : c.lo - others_max;
             std::int64_t hi_num = c.hi == kInf ? kInf : c.hi - others_min;
@@ -367,17 +486,8 @@ struct TrailSearch
             } else {
                 continue;
             }
-            std::int64_t old_lb = dom.lb(t.var), old_ub = dom.ub(t.var);
             if (!tightenLb(t.var, new_lb) || !tightenUb(t.var, new_ub))
                 return false;
-            // Keep the running sum bounds consistent with the updates.
-            if (t.coef >= 0) {
-                smin += t.coef * (dom.lb(t.var) - old_lb);
-                smax += t.coef * (dom.ub(t.var) - old_ub);
-            } else {
-                smin += t.coef * (dom.ub(t.var) - old_ub);
-                smax += t.coef * (dom.lb(t.var) - old_lb);
-            }
         }
         return true;
     }
@@ -448,14 +558,20 @@ struct TrailSearch
         }
     }
 
-    /** DFS with trail-rewind backtracking. @return true if exhausted. */
+    /**
+     * DFS with trail-rewind backtracking. @return true if exhausted.
+     * A pending restart unwinds like a limit hit (every level returns
+     * false and rewinds its mark), landing back at the root state; the
+     * driver in solve() then re-enters search().
+     */
     bool
     search()
     {
-        if (timeUp())
+        if (timeUp() || restartPending)
             return false;
         if (!propagate()) {
             ++backtracks;
+            noteConflict();
             return true;
         }
         VarId v = pickVariable();
@@ -469,16 +585,22 @@ struct TrailSearch
             return true;
         }
 
-        // Objective-aware value ordering: positive-coefficient objective
-        // variables prefer small values; negative prefer large.
-        const bool low_first = objCoef[v] >= 0;
+        // Value ordering: under restarts with an incumbent, follow the
+        // saved solution phase (branch toward the incumbent's value)
+        // so re-descents revisit the good region first. Otherwise,
+        // objective-aware: positive-coefficient objective variables
+        // prefer small values; negative prefer large.
         const std::int64_t saved_lb = dom.lb(v);
         const std::int64_t saved_ub = dom.ub(v);
+        const bool low_first =
+            (params.restartConflictBase && haveIncumbent)
+                ? best[v] <= saved_lb
+                : objCoef[v] >= 0;
         const std::size_t node_mark = dom.mark();
 
         for (int side = 0; side < 2; ++side) {
             ++decisions;
-            if (timeUp())
+            if (timeUp() || restartPending)
                 return false;
             bool try_low = (side == 0) == low_first;
             bool ok;
@@ -492,8 +614,10 @@ struct TrailSearch
                 ok = tightenLb(v, saved_lb + 1);
             }
             bool exhausted = !ok || search();
-            if (!ok)
+            if (!ok) {
                 ++backtracks;
+                noteConflict();
+            }
             rewindTo(node_mark);
             if (!exhausted)
                 return false;
@@ -501,6 +625,29 @@ struct TrailSearch
                 return true;
         }
         return true;
+    }
+
+    /**
+     * Search to exhaustion or a limit, restarting on the Luby schedule
+     * when enabled. @return true if the search space was exhausted.
+     */
+    bool
+    run()
+    {
+        if (!params.restartConflictBase)
+            return search();
+        for (std::uint64_t i = 1;; ++i) {
+            conflictLimit =
+                conflicts + luby(i) * params.restartConflictBase;
+            restartPending = false;
+            if (search())
+                return true; // exhausted (or satisfied)
+            if (limitHit)
+                return false;
+            // Restart: the unwind already rewound to the root state;
+            // re-descend with the saved solution phase.
+            ++restarts;
+        }
     }
 };
 
@@ -524,6 +671,7 @@ struct BaselineState
     std::uint64_t decisions = 0;
     std::uint64_t propagations = 0;
     std::uint64_t backtracks = 0;
+    std::uint64_t restarts = 0; ///< always 0: no restarts in the seed DFS
     bool limitHit = false;
     std::chrono::steady_clock::time_point deadline;
 
@@ -539,6 +687,9 @@ struct BaselineState
             limitHit = true;
         return limitHit;
     }
+
+    /** Uniform entry point with TrailSearch (no restart schedule). */
+    bool run() { return search(); }
 
     std::int64_t
     objectiveMin() const
@@ -793,10 +944,11 @@ CpSolver::solve(const CpModel &model,
             st.best = *hint;
             st.bestObjective = objectiveOf(model, *hint);
         }
-        exhausted = st.search();
+        exhausted = st.run();
         result.decisions = st.decisions;
         result.propagations = st.propagations;
         result.backtracks = st.backtracks;
+        result.restarts = st.restarts;
         haveIncumbent = st.haveIncumbent;
         best = std::move(st.best);
         bestObjective = st.bestObjective;

@@ -56,6 +56,20 @@ struct SolverParams
     SearchEngine engine = SearchEngine::Trail;
     /** Multiplicative activity bump applied per conflict (Trail). */
     double activityDecay = 1.05;
+    /**
+     * Luby restart base, in conflicts (Trail only; 0 disables).
+     * Restart i aborts the current dive after luby(i) * base conflicts
+     * and re-descends from the root with solution phase saving: value
+     * ordering follows the incumbent, so restarted searches keep (and
+     * typically improve) incumbent quality under the same decision
+     * budget. Restarting is conflict-counted, hence deterministic.
+     * The strategy stays complete: the limit grows without bound, so
+     * an exhaustive pass eventually fits inside one restart window —
+     * but proving optimality can take more decisions than a single
+     * uninterrupted dive, which is why LC-OPG only switches restarts
+     * on for budget-truncated (FEASIBLE) window solves.
+     */
+    std::uint64_t restartConflictBase = 0;
 };
 
 /** Result of a solve: status, assignment, objective, search stats. */
@@ -68,6 +82,8 @@ struct SolveResult
     /** Constraint revisions (Trail) / full passes (Baseline). */
     std::uint64_t propagations = 0;
     std::uint64_t backtracks = 0;
+    /** Luby restarts taken (Trail with restartConflictBase > 0). */
+    std::uint64_t restarts = 0;
     double wallSeconds = 0.0;
 
     bool

@@ -11,6 +11,13 @@
  * The rewind observer lets the solver keep derived state (incremental
  * objective bound, variable-selection heap) consistent without the trail
  * knowing about it.
+ *
+ * Besides bound changes the trail can also record *sum-restore* entries
+ * for an external array of per-constraint partial sums (trackSums /
+ * addToSum): the solver keeps each linear row's smin/smax incrementally
+ * up to date as bounds tighten, and rewinding restores the sums in the
+ * exact reverse order, interleaved with the bound undos. This is what
+ * makes reviseLinear O(changed terms) instead of O(terms).
  */
 
 #ifndef FLASHMEM_SOLVER_TRAIL_HH
@@ -25,11 +32,14 @@
 
 namespace flashmem::solver {
 
-/** One recorded bound change: enough to undo it. */
+/** One recorded change: enough to undo it. */
 struct TrailEntry
 {
-    VarId var = -1;
-    bool isUpper = false;
+    enum class Kind : std::uint8_t { Lower, Upper, Sum };
+
+    /** Variable id (Lower/Upper) or sum-slot index (Sum). */
+    std::int32_t index = -1;
+    Kind kind = Kind::Lower;
     std::int64_t old = 0;
 };
 
@@ -45,6 +55,23 @@ class DomainTrail
         lb_ = std::move(lb);
         ub_ = std::move(ub);
         trail_.clear();
+        sums_ = nullptr;
+    }
+
+    /**
+     * Register an external array of trailed sums (the solver's
+     * per-constraint smin/smax slots). Mutate it only through
+     * addToSum() so every change is recorded and rewound.
+     */
+    void trackSums(std::vector<std::int64_t> *sums) { sums_ = sums; }
+
+    /** Trailed update of sum slot @p slot: records the old value. */
+    void
+    addToSum(std::int32_t slot, std::int64_t delta)
+    {
+        auto &s = (*sums_)[static_cast<std::size_t>(slot)];
+        trail_.push_back({slot, TrailEntry::Kind::Sum, s});
+        s += delta;
     }
 
     std::size_t varCount() const { return lb_.size(); }
@@ -65,7 +92,7 @@ class DomainTrail
     void
     tightenLb(VarId v, std::int64_t x)
     {
-        trail_.push_back({v, false, lb_[v]});
+        trail_.push_back({v, TrailEntry::Kind::Lower, lb_[v]});
         lb_[v] = x;
     }
 
@@ -73,7 +100,7 @@ class DomainTrail
     void
     tightenUb(VarId v, std::int64_t x)
     {
-        trail_.push_back({v, true, ub_[v]});
+        trail_.push_back({v, TrailEntry::Kind::Upper, ub_[v]});
         ub_[v] = x;
     }
 
@@ -88,6 +115,8 @@ class DomainTrail
      * @p onUndo is called as onUndo(var, isUpper, currentValue,
      * restoredValue) *before* the bound is restored, so observers can
      * update derived state (objective bound deltas, heap entries).
+     * Sum-restore entries are applied silently: the tracked slot is set
+     * back to its recorded value without invoking the observer.
      */
     template <typename F>
     void
@@ -96,12 +125,18 @@ class DomainTrail
         while (trail_.size() > mark) {
             const TrailEntry e = trail_.back();
             trail_.pop_back();
-            if (e.isUpper) {
-                onUndo(e.var, true, ub_[e.var], e.old);
-                ub_[e.var] = e.old;
-            } else {
-                onUndo(e.var, false, lb_[e.var], e.old);
-                lb_[e.var] = e.old;
+            switch (e.kind) {
+              case TrailEntry::Kind::Upper:
+                onUndo(e.index, true, ub_[e.index], e.old);
+                ub_[e.index] = e.old;
+                break;
+              case TrailEntry::Kind::Lower:
+                onUndo(e.index, false, lb_[e.index], e.old);
+                lb_[e.index] = e.old;
+                break;
+              case TrailEntry::Kind::Sum:
+                (*sums_)[static_cast<std::size_t>(e.index)] = e.old;
+                break;
             }
         }
     }
@@ -117,6 +152,7 @@ class DomainTrail
   private:
     std::vector<std::int64_t> lb_, ub_;
     std::vector<TrailEntry> trail_;
+    std::vector<std::int64_t> *sums_ = nullptr; // see trackSums()
 };
 
 } // namespace flashmem::solver

@@ -7,8 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <set>
+#include <thread>
 
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "core/flashmem.hh"
 #include "core/fusion.hh"
 #include "core/kernel_rewriter.hh"
@@ -412,6 +418,256 @@ TEST(LcOpg, BaselineSolverEngineProducesValidPlan)
     LcOpgPlanner planner(g, cap, km, params);
     auto plan = planner.plan();
     EXPECT_TRUE(plan.validate(g, false));
+}
+
+// ----------------------------------------- Parallel window planning
+
+TEST(LcOpg, ParallelPlansAreByteIdentical)
+{
+    auto g = models::buildModel(models::ModelId::ViT);
+    KernelModel km(DeviceProfile::onePlus12());
+    profiler::AnalyticCapacityProvider cap(km);
+
+    const int hw = ThreadPool::defaultThreadCount();
+    std::vector<int> arms = {1, 4};
+    if (hw != 1 && hw != 4)
+        arms.push_back(hw);
+
+    std::string ref;
+    std::uint64_t ref_decisions = 0;
+    for (int threads : arms) {
+        // Equal footing per arm: warm starts could legally improve
+        // budget-truncated windows and spoil the byte comparison.
+        PlanMemo::global().clear();
+        OpgParams params;
+        params.parallel.threads = threads;
+        LcOpgPlanner planner(g, cap, km, params);
+        PlanStats stats;
+        auto s = planner.plan(&stats).serialize();
+        EXPECT_EQ(stats.threads, threads);
+        if (ref.empty()) {
+            ref = s;
+            ref_decisions = stats.solverDecisions;
+        }
+        EXPECT_EQ(s, ref) << "threads=" << threads;
+        EXPECT_EQ(stats.solverDecisions, ref_decisions)
+            << "threads=" << threads;
+    }
+    PlanMemo::global().clear();
+}
+
+TEST(LcOpg, ParallelPlansWithRestartsAreByteIdentical)
+{
+    auto g = toyGraph(6);
+    KernelModel km(DeviceProfile::onePlus12());
+    profiler::AnalyticCapacityProvider cap(km);
+
+    std::string ref;
+    solver::SolveStatus ref_status = solver::SolveStatus::Unknown;
+    for (int threads : {1, 4}) {
+        PlanMemo::global().clear();
+        OpgParams params;
+        params.chunkBytes = kib(256);
+        params.restartConflictBase = 256;
+        params.parallel.threads = threads;
+        LcOpgPlanner planner(g, cap, km, params);
+        PlanStats stats;
+        auto s = planner.plan(&stats).serialize();
+        if (ref.empty()) {
+            ref = s;
+            ref_status = stats.overallStatus;
+        }
+        EXPECT_EQ(s, ref) << "threads=" << threads;
+        EXPECT_EQ(stats.overallStatus, ref_status);
+    }
+    PlanMemo::global().clear();
+}
+
+// ------------------------------------------------ PlanMemo persistence
+
+namespace {
+
+std::string
+tempMemoPath(const char *tag)
+{
+    return testing::TempDir() + "flashmem_memo_" + tag + ".bin";
+}
+
+} // namespace
+
+TEST(PlanMemo, SaveLoadRoundTrip)
+{
+    const auto path = tempMemoPath("roundtrip");
+    PlanMemo a(8);
+    a.store(11, {1, 2, 3}, 5);
+    a.store(22, {4}, 9);
+    ASSERT_TRUE(a.saveToFile(path));
+
+    PlanMemo b(8);
+    ASSERT_TRUE(b.loadFromFile(path));
+    EXPECT_EQ(b.size(), 2u);
+    EXPECT_EQ(*b.lookup(11), (std::vector<std::int64_t>{1, 2, 3}));
+    EXPECT_EQ(*b.lookup(22), (std::vector<std::int64_t>{4}));
+    // Objectives travel too: a worse store is still rejected.
+    EXPECT_FALSE(b.store(11, {9, 9, 9}, 50));
+    std::remove(path.c_str());
+}
+
+TEST(PlanMemo, LoadRejectsMissingCorruptAndWrongVersionFiles)
+{
+    PlanMemo memo(8);
+    memo.store(1, {7}, 7);
+
+    EXPECT_FALSE(memo.loadFromFile(tempMemoPath("does_not_exist")));
+
+    const auto garbage = tempMemoPath("garbage");
+    {
+        std::ofstream out(garbage, std::ios::binary);
+        out << "definitely not a memo file";
+    }
+    EXPECT_FALSE(memo.loadFromFile(garbage));
+
+    // Valid magic, unsupported version.
+    const auto wrong_version = tempMemoPath("wrong_version");
+    {
+        std::ofstream out(wrong_version, std::ios::binary);
+        std::uint32_t magic = 0x464D504D, version = 999;
+        out.write(reinterpret_cast<const char *>(&magic),
+                  sizeof(magic));
+        out.write(reinterpret_cast<const char *>(&version),
+                  sizeof(version));
+    }
+    EXPECT_FALSE(memo.loadFromFile(wrong_version));
+
+    // Header claims entries the file does not contain.
+    const auto truncated = tempMemoPath("truncated");
+    {
+        PlanMemo src(8);
+        src.store(5, {1, 2, 3, 4, 5}, 0);
+        ASSERT_TRUE(src.saveToFile(truncated));
+        std::ifstream in(truncated, std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        std::ofstream out(truncated,
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() - 8));
+    }
+    EXPECT_FALSE(memo.loadFromFile(truncated));
+
+    // Every failed load left the memo untouched.
+    EXPECT_EQ(memo.size(), 1u);
+    EXPECT_TRUE(memo.lookup(1).has_value());
+
+    std::remove(garbage.c_str());
+    std::remove(wrong_version.c_str());
+    std::remove(truncated.c_str());
+}
+
+TEST(PlanMemo, FileBackedMemoPersistsAcrossInstances)
+{
+    const auto path = tempMemoPath("lifecycle");
+    std::remove(path.c_str());
+    {
+        PlanMemo memo(8, path); // file absent: starts empty
+        EXPECT_EQ(memo.size(), 0u);
+        memo.store(7, {42, 43}, 1);
+    } // destructor saves
+    {
+        PlanMemo memo(8, path); // constructor loads
+        EXPECT_EQ(memo.memoPath(), path);
+        auto hit = memo.lookup(7);
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_EQ(*hit, (std::vector<std::int64_t>{42, 43}));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(LcOpg, FileBackedMemoWarmStartsAcrossLaunches)
+{
+    auto g = toyGraph(3);
+    KernelModel km(DeviceProfile::onePlus12());
+    profiler::AnalyticCapacityProvider cap(km);
+    OpgParams params;
+    params.chunkBytes = kib(256);
+    params.solverDecisionsPerWindow = 2000000;
+    params.solverTimePerWindow = 10.0;
+
+    const auto path = tempMemoPath("planner");
+    std::remove(path.c_str());
+
+    PlanStats first, second;
+    std::string first_plan, second_plan;
+    {
+        // "Launch 1": cold file-backed memo.
+        PlanMemo memo(1024, path);
+        params.memo = &memo;
+        LcOpgPlanner planner(g, cap, km, params);
+        first_plan = planner.plan(&first).serialize();
+    }
+    {
+        // "Launch 2": a fresh memo instance loads the saved file.
+        PlanMemo memo(1024, path);
+        params.memo = &memo;
+        LcOpgPlanner planner(g, cap, km, params);
+        second_plan = planner.plan(&second).serialize();
+    }
+    EXPECT_EQ(first.memoHits, 0u);
+    EXPECT_GT(first.memoStores, 0u);
+    EXPECT_GT(second.memoHits, 0u);
+    // All-OPTIMAL windows: the warm-started launch replans exactly.
+    ASSERT_EQ(first.overallStatus, solver::SolveStatus::Optimal);
+    EXPECT_EQ(first_plan, second_plan);
+    std::remove(path.c_str());
+}
+
+TEST(PlanMemo, ConcurrentHammer)
+{
+    PlanMemo memo(32); // small: forces LRU eviction under contention
+    constexpr int kThreads = 8;
+    constexpr int kOpsPerThread = 4000;
+    std::atomic<std::uint64_t> corrupt{0};
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&memo, &corrupt, t]() {
+            Rng rng(1234 + t);
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                auto fp = static_cast<std::uint64_t>(
+                    rng.uniformInt(0, 99));
+                if (rng.uniform() < 0.5) {
+                    // The value encodes its key, so readers can check
+                    // they never observe torn or misfiled entries.
+                    std::int64_t obj = rng.uniformInt(0, 1000);
+                    memo.store(fp,
+                               {static_cast<std::int64_t>(fp), obj},
+                               obj);
+                } else {
+                    auto v = memo.lookup(fp);
+                    if (v && (v->size() != 2 ||
+                              (*v)[0] !=
+                                  static_cast<std::int64_t>(fp)))
+                        ++corrupt;
+                }
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    EXPECT_EQ(corrupt.load(), 0u);
+    EXPECT_LE(memo.size(), 32u);
+    auto stats = memo.stats();
+    EXPECT_GT(stats.stores, 0u);
+    EXPECT_GT(stats.evictions, 0u);
+    // Entries that survived still satisfy the key-in-value invariant.
+    for (std::uint64_t fp = 0; fp < 100; ++fp) {
+        auto v = memo.lookup(fp);
+        if (v) {
+            ASSERT_EQ(v->size(), 2u);
+            EXPECT_EQ((*v)[0], static_cast<std::int64_t>(fp));
+        }
+    }
 }
 
 // ----------------------------------------------------------------- Fusion

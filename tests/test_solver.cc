@@ -450,6 +450,129 @@ TEST(DomainTrail, RandomizedRewindMatchesSnapshots)
     }
 }
 
+TEST(DomainTrail, SumRestoreEntriesRewindWithBounds)
+{
+    DomainTrail dom;
+    dom.init({0, 0}, {10, 10});
+    std::vector<std::int64_t> sums = {100, 200};
+    dom.trackSums(&sums);
+
+    auto root = dom.mark();
+    dom.tightenLb(0, 4);
+    dom.addToSum(0, 4);   // smin-style delta for the lb raise
+    dom.addToSum(1, -7);
+    dom.tightenUb(1, 6);
+    EXPECT_EQ(sums[0], 104);
+    EXPECT_EQ(sums[1], 193);
+
+    auto inner = dom.mark();
+    dom.addToSum(0, 10);
+    dom.tightenLb(1, 2);
+    EXPECT_EQ(sums[0], 114);
+
+    dom.rewindTo(inner);
+    EXPECT_EQ(sums[0], 104); // inner sum delta undone
+    EXPECT_EQ(sums[1], 193); // outer delta survives
+    EXPECT_EQ(dom.lb(1), 0);
+
+    int bound_undos = 0;
+    dom.rewindTo(root, [&](VarId, bool, std::int64_t, std::int64_t) {
+        ++bound_undos; // sum entries restore silently
+    });
+    EXPECT_EQ(bound_undos, 2);
+    EXPECT_EQ(sums[0], 100);
+    EXPECT_EQ(sums[1], 200);
+    EXPECT_EQ(dom.lb(0), 0);
+    EXPECT_EQ(dom.ub(1), 10);
+}
+
+// -------------------------------------------------------------- Restarts
+
+/** Budget-truncated OPG-ish model for restart tests. */
+CpModel
+restartModel(int weights, int layers, int tw, int cap)
+{
+    CpModel m;
+    for (int w = 0; w < weights; ++w) {
+        std::vector<LinearTerm> row;
+        for (int l = 0; l < layers; ++l)
+            row.push_back({m.newIntVar(0, tw), 1});
+        m.addEquality(row, tw);
+    }
+    std::vector<LinearTerm> obj;
+    for (int w = 0; w < weights; ++w) {
+        std::vector<LinearTerm> col;
+        for (int l = 0; l < layers; ++l) {
+            VarId v = w * layers + l;
+            col.push_back({v, 1});
+            obj.push_back({v, layers - l});
+        }
+    }
+    for (int l = 0; l < layers; ++l) {
+        std::vector<LinearTerm> col;
+        for (int w = 0; w < weights; ++w)
+            col.push_back({w * layers + l, 1});
+        m.addLessOrEqual(col, cap);
+    }
+    m.minimize(obj);
+    return m;
+}
+
+TEST(CpSolver, RestartsAreDeterministic)
+{
+    auto m = restartModel(18, 7, 4, 12);
+    SolverParams params;
+    params.maxDecisions = 30000;
+    params.restartConflictBase = 64;
+    auto r1 = CpSolver(params).solve(m);
+    auto r2 = CpSolver(params).solve(m);
+    EXPECT_GT(r1.restarts, 0u); // the schedule actually fired
+    EXPECT_EQ(r1.status, r2.status);
+    EXPECT_EQ(r1.objective, r2.objective);
+    EXPECT_EQ(r1.decisions, r2.decisions);
+    EXPECT_EQ(r1.restarts, r2.restarts);
+    EXPECT_EQ(r1.values, r2.values);
+}
+
+TEST(CpSolver, RestartsKeepIncumbentQualityUnderBudget)
+{
+    auto m = restartModel(18, 7, 4, 12);
+    // A deliberately poor but feasible hint: each weight dumps all its
+    // chunks on one early layer (3 weights per layer x 4 chunks fills
+    // the capacity of layers 0..5 exactly).
+    std::vector<std::int64_t> hint(m.varCount(), 0);
+    for (int w = 0; w < 18; ++w)
+        hint[static_cast<std::size_t>(w) * 7 + (w % 6)] = 4;
+    ASSERT_TRUE(m.satisfiedBy(hint));
+    std::int64_t hint_obj = 0;
+    for (const auto &t : m.objective())
+        hint_obj += t.coef * hint[t.var];
+
+    SolverParams params;
+    params.maxDecisions = 30000;
+    params.restartConflictBase = 64;
+    auto r = CpSolver(params).solve(m, &hint);
+    ASSERT_TRUE(r.feasible());
+    // Solution phase saving: restarted searches never lose the
+    // incumbent, so the anytime bound holds.
+    EXPECT_LE(r.objective, hint_obj);
+}
+
+CpModel windowModel(int weights, int layers, int tw, int cap);
+
+TEST(CpSolver, RestartsPreserveOptimalityProofs)
+{
+    auto m = windowModel(6, 4, 2, 4);
+    SolverParams plain;
+    SolverParams restarting;
+    restarting.restartConflictBase = 32;
+    auto r_plain = CpSolver(plain).solve(m);
+    auto r_restart = CpSolver(restarting).solve(m);
+    ASSERT_EQ(r_plain.status, SolveStatus::Optimal);
+    ASSERT_EQ(r_restart.status, SolveStatus::Optimal);
+    EXPECT_EQ(r_plain.objective, r_restart.objective);
+}
+
 // ------------------------------------------------------------ Watch lists
 
 TEST(CpModel, WatchListsCoverEveryOccurrence)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Regression gate over BENCH_table4.json snapshots.
+
+Usage: check_bench_regression.py OLD.json NEW.json
+
+Fails (exit 1) when the fresh run regresses against the committed
+snapshot:
+  - aggregate solver wall speedup (trail vs seed DFS) drops by more
+    than 10%, or
+  - any solver-comparison instance ends with a worse (higher)
+    objective, or
+  - any Table-4 model's plan status gets worse
+    (OPTIMAL -> FEASIBLE -> greedy/unknown ordering).
+
+Run by tools/run_benchmarks.sh before it replaces the snapshot.
+"""
+
+import json
+import sys
+
+STATUS_RANK = {"OPTIMAL": 0, "FEASIBLE": 1, "UNKNOWN": 2,
+               "INFEASIBLE": 3}
+SPEEDUP_TOLERANCE = 0.90  # fail below 90% of the committed speedup
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        old = json.load(f)
+    with open(sys.argv[2]) as f:
+        new = json.load(f)
+
+    failures = []
+
+    old_cmp = old.get("solver_comparison", {})
+    new_cmp = new.get("solver_comparison", {})
+    old_speedup = old_cmp.get("aggregate_wall_speedup")
+    new_speedup = new_cmp.get("aggregate_wall_speedup")
+    if old_speedup and new_speedup:
+        if new_speedup < SPEEDUP_TOLERANCE * old_speedup:
+            failures.append(
+                f"aggregate solver speedup regressed: {old_speedup:.2f}x"
+                f" -> {new_speedup:.2f}x (> 10% drop)")
+        print(f"speedup: {old_speedup:.2f}x -> {new_speedup:.2f}x")
+
+    old_obj = {i["name"]: i["objective"]
+               for i in old_cmp.get("instances", [])}
+    for inst in new_cmp.get("instances", []):
+        name = inst["name"]
+        if name in old_obj and inst["objective"] > old_obj[name]:
+            failures.append(
+                f"instance {name}: objective worsened"
+                f" {old_obj[name]} -> {inst['objective']}")
+
+    old_status = {m["model"]: m["status"]
+                  for m in old.get("table4", [])}
+    for model in new.get("table4", []):
+        name = model["model"]
+        if name not in old_status:
+            continue
+        was = STATUS_RANK.get(old_status[name], 9)
+        now = STATUS_RANK.get(model["status"], 9)
+        if now > was:
+            failures.append(
+                f"table4 {name}: status worsened"
+                f" {old_status[name]} -> {model['status']}")
+
+    if failures:
+        for f in failures:
+            print(f"REGRESSION: {f}", file=sys.stderr)
+        return 1
+    print("regression gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

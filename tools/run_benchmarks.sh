@@ -1,19 +1,47 @@
 #!/usr/bin/env bash
 # Build Release and emit BENCH_table4.json (solver wall time,
-# decisions/s, plan-memo effect) so successive PRs accumulate a perf
-# trajectory. Run from anywhere; artifacts land in the repo root.
+# decisions/s, plan-memo effect, planner thread count) so successive
+# PRs accumulate a perf trajectory. Run from anywhere; artifacts land
+# in the repo root.
 #
-# Usage: tools/run_benchmarks.sh [output.json]
+# Acts as a regression gate: the fresh run is compared against the
+# committed snapshot (tools/check_bench_regression.py) and the script
+# fails — leaving the committed snapshot in place — if the aggregate
+# solver speedup regresses by more than 10%, any instance objective
+# worsens, or any Table-4 status degrades. Pass --no-gate to skip the
+# comparison (e.g. on a machine class different from the snapshot's).
+#
+# Usage: tools/run_benchmarks.sh [--no-gate] [output.json]
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-bench"
+
+gate=1
+if [[ "${1:-}" == "--no-gate" ]]; then
+    gate=0
+    shift
+fi
 out_json="${1:-${repo_root}/BENCH_table4.json}"
+fresh_json="$(mktemp /tmp/bench_table4.XXXXXX.json)"
+trap 'rm -f "${fresh_json}"' EXIT
 
 cmake -B "${build_dir}" -S "${repo_root}" \
       -DCMAKE_BUILD_TYPE=Release -DBUILD_TESTING=OFF >/dev/null
 cmake --build "${build_dir}" -j --target bench_table4_solver_runtime
 
-"${build_dir}/bench_table4_solver_runtime" "${out_json}"
+"${build_dir}/bench_table4_solver_runtime" "${fresh_json}"
+
+if [[ ${gate} -eq 1 && -f "${out_json}" ]]; then
+    if command -v python3 >/dev/null; then
+        python3 "${repo_root}/tools/check_bench_regression.py" \
+                "${out_json}" "${fresh_json}"
+    else
+        echo "warning: python3 not found; skipping regression gate" >&2
+    fi
+fi
+
+mv "${fresh_json}" "${out_json}"
+trap - EXIT
 echo "perf snapshot written to ${out_json}"
