@@ -82,6 +82,7 @@ PreloadFramework::run(gpusim::GpuSimulator &sim, const graph::Graph &g,
     auto &mem = sim.memory();
     core::RunResult result;
     result.model = g.name();
+    result.arrival = arrival;
     result.start = arrival;
 
     mem.alloc(MemKind::Scratch, traits_.baseOverhead, arrival);

@@ -131,6 +131,31 @@ FlashMem::compile(const graph::Graph &model) const
     KernelRewriter rewriter(out.fusedGraph, out.plan,
                             options_.kernelRewriting);
     out.kernels = rewriter.rewriteAll();
+    out.planBudget = options_.opg.mPeak;
+    return out;
+}
+
+CompiledModel
+FlashMem::replan(const CompiledModel &compiled, Bytes mPeak) const
+{
+    CompiledModel out;
+    out.fusedGraph = compiled.fusedGraph;
+    out.fusionRounds = compiled.fusionRounds;
+    out.groupsSplit = compiled.groupsSplit;
+    out.replans = compiled.replans + 1;
+    out.planBudget = mPeak;
+
+    LcOpgPlanner planner(out.fusedGraph, capacity_, kernel_model_,
+                         options_.opg);
+    out.plan = planner.replan(mPeak, &out.stats);
+    out.totalSolveSeconds = out.stats.solveSeconds;
+    out.totalSolverDecisions = out.stats.solverDecisions;
+    out.planMemoHits = out.stats.memoHits;
+    out.planMemoStores = out.stats.memoStores;
+
+    KernelRewriter rewriter(out.fusedGraph, out.plan,
+                            options_.kernelRewriting);
+    out.kernels = rewriter.rewriteAll();
     return out;
 }
 

@@ -57,6 +57,11 @@ struct CompiledModel
     std::vector<RewrittenKernel> kernels;
     /** Stats of the final planning round (the plan that shipped). */
     PlanStats stats;
+    /** In-flight memory budget (M_peak) the shipped plan was solved
+     * under; FlashMem::replan() produces siblings at other budgets. */
+    Bytes planBudget = 0;
+    /** Re-plans this artifact went through (0 for a fresh compile). */
+    int replans = 0;
     int fusionRounds = 0;
     int groupsSplit = 0;
     /** @name Aggregates across all adaptive-fusion rounds. @{ */
@@ -83,6 +88,19 @@ class FlashMem
 
     /** Offline stage: fuse, plan, and rewrite @p model. */
     CompiledModel compile(const graph::Graph &model) const;
+
+    /**
+     * On-device re-planning: produce a sibling of @p compiled whose
+     * overlap plan is solved under @p mPeak instead of the budget it
+     * shipped with. The fused graph is reused as-is (fusion decisions
+     * are budget-independent; skipping the adaptive-fusion loop keeps
+     * re-plans well under a second) and window solves warm-start
+     * through the configured PlanMemo, so repeated budget shifts —
+     * the multi-DNN scheduler admitting/evicting co-resident models —
+     * are cheap and bit-deterministic for any thread count.
+     */
+    CompiledModel replan(const CompiledModel &compiled,
+                         Bytes mPeak) const;
 
     /** Online stage: execute a compiled model on @p sim. */
     RunResult execute(gpusim::GpuSimulator &sim,

@@ -23,6 +23,31 @@ secondsSince(std::chrono::steady_clock::time_point t0)
 /** Objective scaling: lambda/mu mapped onto integer coefficients. */
 constexpr std::int64_t kObjScale = 100;
 
+/**
+ * Ledger-checked chunk placement step shared by the greedy warm start,
+ * the merge-time clamp, and the re-balancing pass: take up to @p want
+ * chunks of a weight consumed at @p consumer at layer @p l, bounded by
+ * the layer's residual capacity and the in-flight headroom over
+ * [l, consumer), committing the take to both ledgers.
+ * @return chunks actually taken (0 when the layer cannot help).
+ */
+std::int64_t
+takeAtLayer(graph::NodeId l, graph::NodeId consumer, std::int64_t want,
+            std::int64_t mpeak_chunks,
+            std::vector<std::int64_t> &residual,
+            std::vector<std::int64_t> &inflight)
+{
+    std::int64_t take = std::min(want, residual[l]);
+    for (graph::NodeId p = l; p < consumer && take > 0; ++p)
+        take = std::min(take, mpeak_chunks - inflight[p]);
+    if (take <= 0)
+        return 0;
+    residual[l] -= take;
+    for (graph::NodeId p = l; p < consumer; ++p)
+        inflight[p] += take;
+    return take;
+}
+
 } // namespace
 
 LcOpgPlanner::LcOpgPlanner(const graph::Graph &g,
@@ -53,8 +78,6 @@ LcOpgPlanner::processNodes()
     for (std::size_t w = 0; w < g_.weightCount(); ++w)
         chunk_count_[w] = slicer_.chunkCount(g_.weight(
             static_cast<graph::WeightId>(w)));
-    residual_capacity_ = capacity_chunks_;
-    inflight_used_.assign(layers, 0);
 
     // Explicit preload list: pin weights (consumer order) into W until
     // the requested fraction of bytes is covered.
@@ -105,18 +128,11 @@ LcOpgPlanner::greedyAssign(
         // chunks arrive as close to their use as capacity allows.
         for (graph::NodeId l = w.consumer - 1; l >= lo && remaining > 0;
              --l) {
-            if (l < 0)
-                break;
-            std::int64_t take =
-                std::min(remaining, residual[l]);
-            // In-flight headroom over [l, consumer).
-            for (graph::NodeId p = l; p < w.consumer && take > 0; ++p)
-                take = std::min(take, mpeak_chunks - inflight[p]);
+            std::int64_t take = takeAtLayer(l, w.consumer, remaining,
+                                            mpeak_chunks, residual,
+                                            inflight);
             if (take <= 0)
                 continue;
-            residual[l] -= take;
-            for (graph::NodeId p = l; p < w.consumer; ++p)
-                inflight[p] += take;
             out.assignments[k].push_back({l, take});
             remaining -= take;
         }
@@ -456,18 +472,11 @@ LcOpgPlanner::commitWindow(const WindowInput &in, WindowOutput &out,
         kept.reserve(out.assign[k].size());
         for (auto &[l, c] : out.assign[k]) {
             std::int64_t take =
-                std::min(c, residual_capacity_[l]);
-            for (graph::NodeId p = l; p < w.consumer && take > 0; ++p)
-                take = std::min(take,
-                                mpeak_chunks - inflight_used_[p]);
-            if (take <= 0) {
-                preload += c;
-                continue;
-            }
+                takeAtLayer(l, w.consumer, c, mpeak_chunks,
+                            residual_capacity_, inflight_used_);
             preload += c - take;
-            residual_capacity_[l] -= take;
-            for (graph::NodeId p = l; p < w.consumer; ++p)
-                inflight_used_[p] += take;
+            if (take <= 0)
+                continue;
             kept.push_back({l, take});
             if (first_kept == graph::kInvalidNode || l < first_kept)
                 first_kept = l;
@@ -495,6 +504,62 @@ LcOpgPlanner::commitWindow(const WindowInput &in, WindowOutput &out,
     out.memoStores.clear();
 }
 
+void
+LcOpgPlanner::rebalanceMerge(OverlapPlan &plan, PlanStats &stats)
+{
+    const std::int64_t mpeak_chunks = static_cast<std::int64_t>(
+        params_.mPeak / params_.chunkBytes);
+
+    // Consumer order (id tie-break): deterministic, and the order the
+    // windows themselves committed in, so top-ups drain leftover
+    // capacity front to back exactly like a third merge phase.
+    std::vector<graph::WeightId> order;
+    for (const auto &w : g_.weights()) {
+        if (!pinned_preload_[w.id] &&
+            plan.schedule(w.id).preloadChunks > 0 && w.consumer > 0)
+            order.push_back(w.id);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](graph::WeightId a, graph::WeightId b) {
+                  auto ca = g_.weight(a).consumer;
+                  auto cb = g_.weight(b).consumer;
+                  return ca != cb ? ca < cb : a < b;
+              });
+
+    for (auto wid : order) {
+        const auto &w = g_.weight(wid);
+        const auto &s = plan.schedule(wid);
+        std::int64_t preload = s.preloadChunks;
+        const std::int64_t before = preload;
+        graph::NodeId first_added = graph::kInvalidNode;
+        graph::NodeId lo = std::max<graph::NodeId>(
+            0, w.consumer - params_.maxLoadDistance);
+        // Latest-feasible placement, mirroring the greedy warm start.
+        for (graph::NodeId l = w.consumer - 1; l >= lo && preload > 0;
+             --l) {
+            std::int64_t take =
+                takeAtLayer(l, w.consumer, preload, mpeak_chunks,
+                            residual_capacity_, inflight_used_);
+            if (take <= 0)
+                continue;
+            plan.addAssignment(wid, l, take);
+            preload -= take;
+            stats.rebalancedChunks += take;
+            if (first_added == graph::kInvalidNode || l < first_added)
+                first_added = l;
+        }
+        if (preload == before)
+            continue;
+        ++stats.rebalancedWeights;
+        plan.setPreloadChunks(wid, preload);
+        // C1: z_w covers the new (possibly earlier) first transform.
+        graph::NodeId z = s.earliestLoadLayer;
+        if (z == graph::kInvalidNode || first_added < z)
+            z = first_added;
+        plan.setEarliestLoad(wid, z);
+    }
+}
+
 PlanMemo &
 LcOpgPlanner::memoRef() const
 {
@@ -506,7 +571,14 @@ LcOpgPlanner::plan(PlanStats *stats)
 {
     PlanStats local;
     auto t0 = std::chrono::steady_clock::now();
-    processNodes();
+    if (!processed_) {
+        processNodes();
+        processed_ = true;
+    }
+    // Authoritative ledgers are per-plan state, reset on every call so
+    // replan() can reuse the (budget-independent) graph analysis.
+    residual_capacity_ = capacity_chunks_;
+    inflight_used_.assign(g_.layerCount(), 0);
     local.processNodesSeconds = secondsSince(t0);
 
     OverlapPlan plan(g_, params_.chunkBytes);
@@ -565,6 +637,10 @@ LcOpgPlanner::plan(PlanStats *stats)
     auto merge_t0 = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < inputs.size(); ++i)
         commitWindow(inputs[i], outputs[i], plan, local);
+    // Second merge pass: top up budget-truncated windows from capacity
+    // earlier windows reserved greedily but did not use.
+    if (params_.mergeRebalance)
+        rebalanceMerge(plan, local);
     local.mergeSeconds = secondsSince(merge_t0);
 
     for (const auto &out : outputs) {
@@ -593,6 +669,15 @@ LcOpgPlanner::plan(PlanStats *stats)
     if (stats)
         *stats = local;
     return plan;
+}
+
+OverlapPlan
+LcOpgPlanner::replan(Bytes mPeak, PlanStats *stats)
+{
+    FM_ASSERT(mPeak >= params_.chunkBytes,
+              "re-plan budget below one chunk (", mPeak, " bytes)");
+    params_.mPeak = mPeak;
+    return plan(stats);
 }
 
 } // namespace flashmem::core

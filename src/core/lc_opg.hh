@@ -106,6 +106,17 @@ struct OpgParams
      * CLI tools and benches warm-start across process launches.
      */
     PlanMemo *memo = nullptr;
+    /**
+     * Merge-time capacity re-balancing (second merge pass): after the
+     * ordered commit, weights that were budget-truncated into the
+     * preload set are topped up from capacity that earlier windows
+     * reserved greedily but did not use. Deterministic (sequential,
+     * consumer order) and purely plan-improving: every moved chunk
+     * lowers |W| without violating C2/C3, since it only consumes
+     * residual capacity and in-flight headroom left in the
+     * authoritative ledgers.
+     */
+    bool mergeRebalance = true;
     /** CP search kernel (Baseline kept for before/after benches). */
     solver::SearchEngine solverEngine = solver::SearchEngine::Trail;
     /**
@@ -139,6 +150,10 @@ struct PlanStats
     int forcedPreloads = 0;             ///< C4 tier-2 events
     int greedyWindows = 0;              ///< C4 tier-3 events
     int threads = 1;                    ///< worker threads used to solve
+    /** @name Merge-time re-balancing (second merge pass). @{ */
+    std::int64_t rebalancedChunks = 0;  ///< chunks moved W -> streamed
+    int rebalancedWeights = 0;          ///< truncated weights topped up
+    /** @} */
     std::uint64_t solverDecisions = 0;
     std::uint64_t solverRestarts = 0;   ///< Luby restarts across windows
     std::uint64_t memoHits = 0;         ///< plan-memo warm starts used
@@ -162,6 +177,17 @@ class LcOpgPlanner
 
     /** Run LC-OPG; always returns a valid plan. */
     OverlapPlan plan(PlanStats *stats = nullptr);
+
+    /**
+     * Re-plan under a different in-flight memory budget (on-device
+     * re-planning: the multi-DNN scheduler shifts a model's residual
+     * capacity share when co-resident models are admitted or evicted).
+     * Reuses the graph analysis of the first plan() call — only the
+     * staging/solve/merge phases re-run — and warm-starts through the
+     * configured PlanMemo, so re-plans land well under a second.
+     * Deterministic for any thread count, like plan().
+     */
+    OverlapPlan replan(Bytes mPeak, PlanStats *stats = nullptr);
 
     /** Per-layer capacities in chunks (after analysis). */
     const std::vector<std::int64_t> &layerCapacities() const
@@ -270,6 +296,16 @@ class LcOpgPlanner
     void commitWindow(const WindowInput &in, WindowOutput &out,
                       OverlapPlan &plan, PlanStats &stats);
 
+    /**
+     * Second merge pass (cross-window capacity re-balancing): walk the
+     * committed plan in consumer order and move budget-truncated
+     * preload chunks into residual capacity that earlier windows
+     * reserved but did not use. Runs after every window committed, so
+     * the authoritative ledgers are final; every top-up is validated
+     * against them (and the in-flight headroom) before it lands.
+     */
+    void rebalanceMerge(OverlapPlan &plan, PlanStats &stats);
+
     GreedyOut greedyAssign(
         const std::vector<graph::WeightId> &weights,
         const std::vector<std::int64_t> &residual_capacity,
@@ -284,7 +320,9 @@ class LcOpgPlanner
     OpgParams params_;
     WeightSlicer slicer_;
 
-    // processNodes() outputs.
+    // processNodes() outputs (budget-independent; computed once and
+    // reused across replan() calls).
+    bool processed_ = false;
     std::vector<gpusim::KernelSpec> specs_;          // per layer
     std::vector<std::int64_t> capacity_chunks_;      // C_l per layer
     std::vector<std::int64_t> chunk_count_;          // T(w) per weight

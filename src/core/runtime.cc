@@ -48,6 +48,7 @@ StreamingRuntime::run(const RunConfig &cfg)
 
     RunResult result;
     result.model = g_.name();
+    result.arrival = cfg.arrival;
     result.start = cfg.arrival;
 
     // Framework residency: CL context, command buffers, graph metadata

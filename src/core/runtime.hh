@@ -26,7 +26,8 @@ namespace flashmem::core {
 /** Per-invocation knobs. */
 struct RunConfig
 {
-    /** Request arrival time (multi-DNN pipelines pass the queue time). */
+    /** Execution start time (multi-DNN schedulers pass the dispatch
+     * time, i.e. max(request arrival, device free)). */
     SimTime arrival = 0;
     /** Branch-free pipelined kernels; false = ablation's branchy mode. */
     bool branchFreeKernels = true;
@@ -36,11 +37,20 @@ struct RunConfig
 struct RunResult
 {
     std::string model;
-    SimTime start = 0;     ///< request arrival
+    /** Request arrival (queue-entry time). Defaults to @c start for
+     * standalone runs; multi-DNN schedulers overwrite it with the true
+     * arrival so request latency includes queueing delay. */
+    SimTime arrival = 0;
+    SimTime start = 0;     ///< execution start (dispatch)
     SimTime initDone = 0;  ///< preload set resident (init boundary)
     SimTime end = 0;       ///< last kernel retired
 
+    /** Device-side latency: execution only, excludes queueing. */
     SimTime integratedLatency() const { return end - start; }
+    /** Request latency as the user observes it: end - arrival. */
+    SimTime requestLatency() const { return end - arrival; }
+    /** Time spent queued behind other requests. */
+    SimTime queueDelay() const { return start - arrival; }
     SimTime initLatency() const { return initDone - start; }
     SimTime execLatency() const { return end - initDone; }
 

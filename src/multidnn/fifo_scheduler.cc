@@ -1,72 +1,16 @@
 #include "multidnn/fifo_scheduler.hh"
 
-#include <algorithm>
-
-#include "common/logging.hh"
-
 namespace flashmem::multidnn {
-
-namespace {
-
-/** Trace of the most recent scheduler invocation (for figure plots). */
-TimeSeries g_last_trace;
-
-FifoOutcome
-summarize(const gpusim::GpuSimulator &sim,
-          std::vector<core::RunResult> runs)
-{
-    FifoOutcome out;
-    out.runs = std::move(runs);
-    for (const auto &r : out.runs)
-        out.makespan = std::max(out.makespan, r.end);
-    const auto &mem = sim.memory();
-    out.peakMemory = mem.peakOver(0, out.makespan);
-    out.avgMemoryBytes = mem.averageBytes(0, out.makespan);
-    out.energyJoules = sim.energyJoules(out.makespan);
-    g_last_trace = mem.totalTrace();
-    return out;
-}
-
-} // namespace
-
-SimTime
-FifoOutcome::meanLatency() const
-{
-    if (runs.empty())
-        return 0;
-    SimTime total = 0;
-    for (const auto &r : runs)
-        total += r.integratedLatency();
-    return total / static_cast<SimTime>(runs.size());
-}
 
 FifoOutcome
 FifoScheduler::runFlashMem(const core::FlashMem &fm,
                            const std::vector<ModelRequest> &queue,
                            Precision precision)
 {
-    // Compile each distinct model once (offline stage).
-    std::map<models::ModelId, core::CompiledModel> compiled;
-    std::map<models::ModelId, graph::Graph> graphs;
-    for (const auto &req : queue) {
-        if (!compiled.count(req.model)) {
-            graphs.emplace(req.model,
-                           models::buildModel(req.model, precision));
-            compiled.emplace(req.model,
-                             fm.compile(graphs.at(req.model)));
-        }
-    }
-
-    gpusim::GpuSimulator sim(fm.device());
-    std::vector<core::RunResult> runs;
-    SimTime free_at = 0;
-    for (const auto &req : queue) {
-        SimTime start = std::max(req.arrival, free_at);
-        auto r = fm.execute(sim, compiled.at(req.model), start);
-        free_at = r.end;
-        runs.push_back(std::move(r));
-    }
-    return summarize(sim, std::move(runs));
+    SchedulerConfig cfg;
+    cfg.precision = precision;
+    EventScheduler sched(fm, cfg);
+    return sched.run(queue, FifoPolicy{});
 }
 
 FifoOutcome
@@ -75,34 +19,8 @@ FifoScheduler::runPreload(baselines::FrameworkId framework,
                           const std::vector<ModelRequest> &queue,
                           Precision precision)
 {
-    baselines::PreloadFramework fw(framework, dev);
-    std::map<models::ModelId, graph::Graph> graphs;
-    for (const auto &req : queue) {
-        if (!graphs.count(req.model))
-            graphs.emplace(req.model,
-                           models::buildModel(req.model, precision));
-    }
-
-    gpusim::GpuSimulator sim(dev);
-    std::vector<core::RunResult> runs;
-    SimTime free_at = 0;
-    for (const auto &req : queue) {
-        const auto &g = graphs.at(req.model);
-        FM_ASSERT(fw.supports(g) ==
-                      baselines::SupportStatus::Supported,
-                  fw.name(), " cannot run ", g.name());
-        SimTime start = std::max(req.arrival, free_at);
-        auto r = fw.run(sim, g, start);
-        free_at = r.end;
-        runs.push_back(std::move(r));
-    }
-    return summarize(sim, std::move(runs));
-}
-
-const TimeSeries &
-FifoScheduler::lastTrace()
-{
-    return g_last_trace;
+    return EventScheduler::runPreload(framework, dev, queue,
+                                      FifoPolicy{}, precision);
 }
 
 } // namespace flashmem::multidnn

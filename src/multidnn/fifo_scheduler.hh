@@ -2,35 +2,24 @@
  * @file
  * FIFO multi-DNN scheduling (paper Figure 1c / Section 5.3): requests
  * execute in arrival order on one shared device; each model swaps in,
- * runs, and swaps out. Under FlashMem the swap-in is the streamed
- * overlap plan; under preloading frameworks it is a full cold-start
- * init — the repeated-load overhead the paper targets.
+ * runs, and swaps out. A thin wrapper over the event-driven
+ * EventScheduler with the FifoPolicy — kept as the entry point the
+ * figure reproductions and examples use, and as the baseline the
+ * other policies are compared against.
  */
 
 #ifndef FLASHMEM_MULTIDNN_FIFO_SCHEDULER_HH
 #define FLASHMEM_MULTIDNN_FIFO_SCHEDULER_HH
 
-#include <map>
 #include <vector>
 
-#include "baselines/preload_framework.hh"
-#include "core/flashmem.hh"
-#include "multidnn/workload.hh"
+#include "multidnn/scheduler.hh"
 
 namespace flashmem::multidnn {
 
-/** Outcome of draining one FIFO queue. */
-struct FifoOutcome
-{
-    std::vector<core::RunResult> runs;
-    SimTime makespan = 0;        ///< last completion
-    Bytes peakMemory = 0;        ///< peak over the whole queue
-    double avgMemoryBytes = 0.0; ///< time-weighted average
-    double energyJoules = 0.0;
-
-    /** Mean integrated latency across requests. */
-    SimTime meanLatency() const;
-};
+/** Outcome of draining one FIFO queue (trace included — schedulers
+ * keep no mutable global state). */
+using FifoOutcome = ScheduleOutcome;
 
 /** Drains FIFO queues against one simulator. */
 class FifoScheduler
@@ -49,9 +38,6 @@ class FifoScheduler
                                   const gpusim::DeviceProfile &dev,
                                   const std::vector<ModelRequest> &queue,
                                   Precision precision = Precision::FP16);
-
-    /** Memory trace of the last run*() call (for Figure 6 plots). */
-    static const TimeSeries &lastTrace();
 };
 
 } // namespace flashmem::multidnn

@@ -1,0 +1,101 @@
+#include "multidnn/policies.hh"
+
+#include "common/logging.hh"
+
+namespace flashmem::multidnn {
+
+namespace {
+
+/** Lexicographic (arrival, queueIndex) — the FIFO total order. */
+bool
+fifoBefore(const ReadyRequest &a, const ReadyRequest &b)
+{
+    if (a.arrival != b.arrival)
+        return a.arrival < b.arrival;
+    return a.queueIndex < b.queueIndex;
+}
+
+} // namespace
+
+std::size_t
+FifoPolicy::select(SimTime, const std::vector<ReadyRequest> &ready) const
+{
+    FM_ASSERT(!ready.empty(), "select() on empty ready set");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+        if (fifoBefore(ready[i], ready[best]))
+            best = i;
+    }
+    return best;
+}
+
+std::size_t
+SjfPolicy::select(SimTime, const std::vector<ReadyRequest> &ready) const
+{
+    FM_ASSERT(!ready.empty(), "select() on empty ready set");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+        if (ready[i].estimatedLatency != ready[best].estimatedLatency
+                ? ready[i].estimatedLatency < ready[best].estimatedLatency
+                : fifoBefore(ready[i], ready[best]))
+            best = i;
+    }
+    return best;
+}
+
+std::int64_t
+PriorityAgingPolicy::effectivePriority(SimTime now,
+                                       const ReadyRequest &r) const
+{
+    SimTime waited = std::max<SimTime>(now - r.arrival, 0);
+    return static_cast<std::int64_t>(r.priority) +
+           static_cast<std::int64_t>(waited / aging_quantum_);
+}
+
+std::size_t
+PriorityAgingPolicy::select(SimTime now,
+                            const std::vector<ReadyRequest> &ready) const
+{
+    FM_ASSERT(!ready.empty(), "select() on empty ready set");
+    std::size_t best = 0;
+    auto best_p = effectivePriority(now, ready[0]);
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+        auto p = effectivePriority(now, ready[i]);
+        if (p > best_p ||
+            (p == best_p && fifoBefore(ready[i], ready[best]))) {
+            best = i;
+            best_p = p;
+        }
+    }
+    return best;
+}
+
+std::unique_ptr<SchedulingPolicy>
+makePolicy(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Fifo:
+        return std::make_unique<FifoPolicy>();
+      case PolicyKind::ShortestJobFirst:
+        return std::make_unique<SjfPolicy>();
+      case PolicyKind::PriorityAging:
+        return std::make_unique<PriorityAgingPolicy>();
+      case PolicyKind::MemoryAware:
+        return std::make_unique<MemoryAwarePolicy>();
+    }
+    FM_FATAL("unknown policy kind");
+}
+
+const std::vector<PolicyKind> &
+allPolicyKinds()
+{
+    static const std::vector<PolicyKind> kinds = {
+        PolicyKind::Fifo,
+        PolicyKind::ShortestJobFirst,
+        PolicyKind::PriorityAging,
+        PolicyKind::MemoryAware,
+    };
+    return kinds;
+}
+
+} // namespace flashmem::multidnn

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Pluggable scheduling policies for the event-driven multi-DNN
+ * scheduler (paper Figure 1c / Section 5.3).
+ *
+ * A policy answers one question — which ready request the device runs
+ * next — and optionally opts into memory-aware admission, where the
+ * scheduler caps the co-resident working-set budget and re-plans
+ * models whose residual capacity share shifted (see
+ * multidnn::EventScheduler).
+ */
+
+#ifndef FLASHMEM_MULTIDNN_POLICIES_HH
+#define FLASHMEM_MULTIDNN_POLICIES_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "models/model_zoo.hh"
+
+namespace flashmem::multidnn {
+
+/** Scheduler view of one ready (arrived, not yet dispatched) request. */
+struct ReadyRequest
+{
+    std::size_t queueIndex = 0;   ///< position in the submitted queue
+    models::ModelId model{};
+    SimTime arrival = 0;
+    int priority = 0;
+    /** Warm single-run execution estimate for this model (SJF key);
+     * only populated when the policy declares needsEstimates(). */
+    SimTime estimatedLatency = 0;
+};
+
+/** Strategy deciding which ready request runs on the freed device. */
+class SchedulingPolicy
+{
+  public:
+    virtual ~SchedulingPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Pick the next request to dispatch at simulated time @p now.
+     * @param ready non-empty list of arrived requests.
+     * @return index INTO @p ready (not a queue index).
+     */
+    virtual std::size_t select(
+        SimTime now, const std::vector<ReadyRequest> &ready) const = 0;
+
+    /**
+     * True to enable memory-aware admission: the scheduler divides the
+     * shared capacity budget across co-resident models and re-plans a
+     * model before dispatch whenever its share shifted.
+     */
+    virtual bool memoryAware() const { return false; }
+
+    /**
+     * True when select() reads ReadyRequest::estimatedLatency; only
+     * then does the scheduler pay for per-model estimate runs.
+     */
+    virtual bool needsEstimates() const { return false; }
+};
+
+/** Arrival order (queue-index tie-break) — the seed FIFO drain. */
+class FifoPolicy : public SchedulingPolicy
+{
+  public:
+    const char *name() const override { return "fifo"; }
+    std::size_t select(SimTime now,
+                       const std::vector<ReadyRequest> &ready)
+        const override;
+};
+
+/** Shortest estimated execution first (arrival/index tie-break). */
+class SjfPolicy : public SchedulingPolicy
+{
+  public:
+    const char *name() const override { return "sjf"; }
+    std::size_t select(SimTime now,
+                       const std::vector<ReadyRequest> &ready)
+        const override;
+    bool needsEstimates() const override { return true; }
+};
+
+/**
+ * Highest effective priority first, where waiting raises priority:
+ * effective = priority + waited / agingQuantum. Aging makes the policy
+ * starvation-free — any request eventually outranks fresh high-priority
+ * arrivals.
+ */
+class PriorityAgingPolicy : public SchedulingPolicy
+{
+  public:
+    explicit PriorityAgingPolicy(SimTime aging_quantum = milliseconds(50))
+        : aging_quantum_(std::max<SimTime>(aging_quantum, 1))
+    {}
+
+    const char *name() const override { return "priority-aging"; }
+    std::size_t select(SimTime now,
+                       const std::vector<ReadyRequest> &ready)
+        const override;
+
+    /** Effective priority of @p r at time @p now. */
+    std::int64_t effectivePriority(SimTime now,
+                                   const ReadyRequest &r) const;
+
+  private:
+    SimTime aging_quantum_;
+};
+
+/**
+ * FIFO selection plus memory-aware admission: the scheduler caps the
+ * sum of co-resident working-set budgets at its capacity budget and
+ * re-plans (via FlashMem::replan, warm-started through the PlanMemo)
+ * any model whose share shrank or grew since it was last planned.
+ */
+class MemoryAwarePolicy : public FifoPolicy
+{
+  public:
+    const char *name() const override { return "memory-aware"; }
+    bool memoryAware() const override { return true; }
+};
+
+/** The built-in policy set, for iteration in benches/tests. */
+enum class PolicyKind
+{
+    Fifo,
+    ShortestJobFirst,
+    PriorityAging,
+    MemoryAware,
+};
+
+/** Construct a policy of @p kind with default parameters. */
+std::unique_ptr<SchedulingPolicy> makePolicy(PolicyKind kind);
+
+/** All built-in kinds, in presentation order. */
+const std::vector<PolicyKind> &allPolicyKinds();
+
+} // namespace flashmem::multidnn
+
+#endif // FLASHMEM_MULTIDNN_POLICIES_HH

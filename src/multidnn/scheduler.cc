@@ -1,0 +1,281 @@
+#include "multidnn/scheduler.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace flashmem::multidnn {
+
+namespace {
+
+/** One event of the simulation clock. */
+struct Event
+{
+    SimTime time = 0;
+    /** Arrivals order before completions at equal times, so a freed
+     * device always sees every request that has arrived by then. */
+    enum Kind { Arrival = 0, Completion = 1 } kind = Arrival;
+    std::size_t seq = 0; ///< queue index (arrival) / tie-break
+
+    bool
+    operator>(const Event &o) const
+    {
+        if (time != o.time)
+            return time > o.time;
+        if (kind != o.kind)
+            return kind > o.kind;
+        return seq > o.seq;
+    }
+};
+
+} // namespace
+
+SimTime
+ScheduleOutcome::meanLatency() const
+{
+    if (runs.empty())
+        return 0;
+    SimTime total = 0;
+    for (const auto &r : runs)
+        total += r.requestLatency();
+    return total / static_cast<SimTime>(runs.size());
+}
+
+SimTime
+ScheduleOutcome::meanQueueDelay() const
+{
+    if (runs.empty())
+        return 0;
+    SimTime total = 0;
+    for (const auto &r : runs)
+        total += r.queueDelay();
+    return total / static_cast<SimTime>(runs.size());
+}
+
+EventScheduler::EventScheduler(const core::FlashMem &fm,
+                               SchedulerConfig cfg)
+    : fm_(fm), cfg_(cfg)
+{
+    if (cfg_.capacityBudget == 0)
+        cfg_.capacityBudget = fm.device().appMemoryBudget;
+    cfg_.minModelBudget =
+        std::max(cfg_.minModelBudget, fm.options().opg.chunkBytes);
+    cfg_.budgetQuantum = std::max<Bytes>(cfg_.budgetQuantum, 1);
+}
+
+void
+EventScheduler::summarize(const gpusim::GpuSimulator &sim,
+                          ScheduleOutcome &out)
+{
+    for (const auto &r : out.runs)
+        out.makespan = std::max(out.makespan, r.end);
+    const auto &mem = sim.memory();
+    out.trace = mem.totalTrace();
+    if (!out.runs.empty()) {
+        out.peakMemory = mem.peakOver(0, out.makespan);
+        out.avgMemoryBytes = mem.averageBytes(0, out.makespan);
+        out.energyJoules = sim.energyJoules(out.makespan);
+    }
+}
+
+ScheduleOutcome
+EventScheduler::drain(gpusim::GpuSimulator &sim,
+                      const std::vector<ModelRequest> &queue,
+                      const SchedulingPolicy &policy,
+                      const std::map<models::ModelId, SimTime> &estimates,
+                      const DispatchFn &dispatch)
+{
+    ScheduleOutcome out;
+    out.policy = policy.name();
+    out.runs.reserve(queue.size());
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        events;
+    for (std::size_t i = 0; i < queue.size(); ++i)
+        events.push({queue[i].arrival, Event::Arrival, i});
+
+    std::vector<ReadyRequest> ready;
+    bool busy = false;
+    SimTime now = 0;
+    while (!events.empty()) {
+        auto ev = events.top();
+        events.pop();
+        now = std::max(now, ev.time);
+        if (ev.kind == Event::Arrival) {
+            const auto &req = queue[ev.seq];
+            auto est = estimates.find(req.model);
+            ready.push_back({ev.seq, req.model, req.arrival,
+                             req.priority,
+                             est != estimates.end() ? est->second : 0});
+        } else {
+            busy = false;
+        }
+        if (busy || ready.empty())
+            continue;
+        // Drain simultaneous arrivals before picking, so the policy
+        // compares every request that is ready at this instant.
+        if (!events.empty() && events.top().time <= now &&
+            events.top().kind == Event::Arrival)
+            continue;
+
+        auto pick = policy.select(now, ready);
+        FM_ASSERT(pick < ready.size(), "policy picked out of range");
+        ReadyRequest picked = ready[pick];
+        ready.erase(ready.begin() +
+                    static_cast<std::ptrdiff_t>(pick));
+
+        // Co-resident working sets: the dispatched model plus every
+        // distinct model still waiting in the ready set.
+        std::vector<models::ModelId> distinct{picked.model};
+        for (const auto &r : ready) {
+            if (std::find(distinct.begin(), distinct.end(), r.model) ==
+                distinct.end())
+                distinct.push_back(r.model);
+        }
+
+        auto r = dispatch(sim, picked, now,
+                          static_cast<int>(distinct.size()));
+        r.arrival = picked.arrival;
+        events.push({r.end, Event::Completion, picked.queueIndex});
+        out.runs.push_back(std::move(r));
+        busy = true;
+    }
+    summarize(sim, out);
+    return out;
+}
+
+Bytes
+EventScheduler::admissionBudget(int co_resident) const
+{
+    // The shared capacity budget caps even a lone model: its share is
+    // the whole budget, still clamped to the configured plan budget.
+    Bytes share = cfg_.capacityBudget /
+                  static_cast<Bytes>(std::max(co_resident, 1));
+    // Quantize down so ready-set fluctuations do not churn re-plans.
+    share -= share % cfg_.budgetQuantum;
+    share = std::max(share, cfg_.minModelBudget);
+    return std::min(share, fm_.options().opg.mPeak);
+}
+
+const core::CompiledModel &
+EventScheduler::compiledFor(models::ModelId model, Bytes budget,
+                            ScheduleOutcome &out)
+{
+    auto key = std::make_pair(model, budget);
+    auto it = compiled_.find(key);
+    if (it != compiled_.end())
+        return it->second;
+
+    if (!graphs_.count(model))
+        graphs_.emplace(model,
+                        models::buildModel(model, cfg_.precision));
+
+    const Bytes base_budget = fm_.options().opg.mPeak;
+    if (budget == base_budget) {
+        it = compiled_
+                 .emplace(key, fm_.compile(graphs_.at(model)))
+                 .first;
+        return it->second;
+    }
+
+    // On-device re-plan: shrunken/grown residual budget, warm-started
+    // through the PlanMemo by the planner.
+    const auto &base = compiledFor(model, base_budget, out);
+    auto replanned = fm_.replan(base, budget);
+    ++out.replans;
+    out.replanMemoHits += replanned.stats.memoHits;
+    out.replanSeconds += replanned.stats.processNodesSeconds +
+                         replanned.stats.stageSeconds +
+                         replanned.stats.solveSeconds +
+                         replanned.stats.mergeSeconds;
+    it = compiled_.emplace(key, std::move(replanned)).first;
+    return it->second;
+}
+
+SimTime
+EventScheduler::estimateFor(models::ModelId model, ScheduleOutcome &out)
+{
+    auto it = estimates_.find(model);
+    if (it != estimates_.end())
+        return it->second;
+    // Warm estimate: one run on a scratch simulator at the base budget.
+    const auto &compiled =
+        compiledFor(model, fm_.options().opg.mPeak, out);
+    gpusim::GpuSimulator scratch(fm_.device());
+    auto r = fm_.execute(scratch, compiled, 0);
+    it = estimates_.emplace(model, r.integratedLatency()).first;
+    return it->second;
+}
+
+ScheduleOutcome
+EventScheduler::run(const std::vector<ModelRequest> &queue,
+                    const SchedulingPolicy &policy)
+{
+    ScheduleOutcome replan_acc; // collects offline/replan counters
+    // Offline stage: estimate each distinct model's warm latency —
+    // only when the policy actually keys on it (SJF).
+    std::map<models::ModelId, SimTime> estimates;
+    if (policy.needsEstimates()) {
+        for (const auto &req : queue) {
+            if (!estimates.count(req.model))
+                estimates.emplace(req.model,
+                                  estimateFor(req.model, replan_acc));
+        }
+    }
+
+    const bool memory_aware =
+        policy.memoryAware() && cfg_.replanOnBudgetShift;
+    gpusim::GpuSimulator sim(fm_.device());
+    auto out = drain(
+        sim, queue, policy, estimates,
+        [&](gpusim::GpuSimulator &s, const ReadyRequest &picked,
+            SimTime now, int co_resident) {
+            Bytes budget = fm_.options().opg.mPeak;
+            if (memory_aware)
+                budget = admissionBudget(co_resident);
+            const auto &cm = compiledFor(picked.model, budget,
+                                         replan_acc);
+            return fm_.execute(s, cm, now);
+        });
+    out.replans += replan_acc.replans;
+    out.replanMemoHits += replan_acc.replanMemoHits;
+    out.replanSeconds += replan_acc.replanSeconds;
+    return out;
+}
+
+ScheduleOutcome
+EventScheduler::runPreload(baselines::FrameworkId framework,
+                           const gpusim::DeviceProfile &dev,
+                           const std::vector<ModelRequest> &queue,
+                           const SchedulingPolicy &policy,
+                           Precision precision)
+{
+    baselines::PreloadFramework fw(framework, dev);
+    std::map<models::ModelId, graph::Graph> graphs;
+    std::map<models::ModelId, SimTime> estimates;
+    for (const auto &req : queue) {
+        if (graphs.count(req.model))
+            continue;
+        graphs.emplace(req.model,
+                       models::buildModel(req.model, precision));
+        const auto &g = graphs.at(req.model);
+        FM_ASSERT(fw.supports(g) == baselines::SupportStatus::Supported,
+                  fw.name(), " cannot run ", g.name());
+        if (policy.needsEstimates()) {
+            // Cold-start estimate: preloading pays init per request.
+            gpusim::GpuSimulator scratch(dev);
+            estimates.emplace(
+                req.model, fw.run(scratch, g, 0).integratedLatency());
+        }
+    }
+
+    gpusim::GpuSimulator sim(dev);
+    return drain(sim, queue, policy, estimates,
+                 [&](gpusim::GpuSimulator &s, const ReadyRequest &picked,
+                     SimTime now, int) {
+                     return fw.run(s, graphs.at(picked.model), now);
+                 });
+}
+
+} // namespace flashmem::multidnn

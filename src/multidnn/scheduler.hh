@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Event-driven multi-DNN scheduling (paper Figure 1c / Section 5.3).
+ *
+ * A simulation-clock event loop drains a queue of inference requests
+ * against one shared device: arrival events feed a ready set, a
+ * completion event frees the device, and on every free device a
+ * pluggable SchedulingPolicy picks the next request. Under FlashMem
+ * the swap-in is the streamed overlap plan; under preloading baselines
+ * it is a full cold-start init — the repeated-load overhead the paper
+ * targets.
+ *
+ * Memory-aware policies additionally enable **on-device re-planning**:
+ * the scheduler caps the sum of co-resident working-set budgets at a
+ * shared capacity budget, and when a model's share shifts — because
+ * other models were admitted to or evicted from the ready set — the
+ * model is re-planned at its new budget via FlashMem::replan(),
+ * warm-started through the PlanMemo so re-plans land well under a
+ * second and are bit-deterministic for any planner thread count.
+ */
+
+#ifndef FLASHMEM_MULTIDNN_SCHEDULER_HH
+#define FLASHMEM_MULTIDNN_SCHEDULER_HH
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "baselines/preload_framework.hh"
+#include "core/flashmem.hh"
+#include "multidnn/policies.hh"
+#include "multidnn/workload.hh"
+
+namespace flashmem::multidnn {
+
+/** Knobs of the event-driven scheduler. */
+struct SchedulerConfig
+{
+    Precision precision = Precision::FP16;
+    /**
+     * Shared working-set capacity budget that memory-aware admission
+     * divides across co-resident models; 0 = the device's app memory
+     * budget. Ignored by policies without memoryAware().
+     */
+    Bytes capacityBudget = 0;
+    /** Floor below which a model's share is never shrunk. */
+    Bytes minModelBudget = mib(128);
+    /**
+     * Budget shares are rounded down to a multiple of this quantum, so
+     * small ready-set fluctuations do not trigger re-plan churn (and
+     * the per-budget artifact cache stays small). */
+    Bytes budgetQuantum = mib(64);
+    /** Master switch for on-device re-planning on budget shifts. */
+    bool replanOnBudgetShift = true;
+};
+
+/** Outcome of draining one request queue. */
+struct ScheduleOutcome
+{
+    /** Name of the policy that produced this outcome. */
+    std::string policy;
+    /**
+     * Per-request results in dispatch (execution) order — queue order
+     * under FIFO. RunResult::arrival carries the request's queue-entry
+     * time, so requestLatency() includes queueing delay.
+     */
+    std::vector<core::RunResult> runs;
+    SimTime makespan = 0;        ///< last completion
+    Bytes peakMemory = 0;        ///< peak over the whole queue
+    double avgMemoryBytes = 0.0; ///< time-weighted average
+    double energyJoules = 0.0;
+    /** Total-memory trace of this run (Figure 6 plots). Owned by the
+     * outcome — schedulers keep no mutable global state. */
+    TimeSeries trace;
+
+    /** @name On-device re-planning counters (memory-aware policies). @{ */
+    int replans = 0;                  ///< FlashMem::replan invocations
+    std::uint64_t replanMemoHits = 0; ///< warm starts reused from memo
+    double replanSeconds = 0.0;       ///< wall time spent re-planning
+    /** @} */
+
+    /** Mean request latency (end - arrival): includes queueing delay. */
+    SimTime meanLatency() const;
+    /** Mean time requests spent queued before dispatch. */
+    SimTime meanQueueDelay() const;
+};
+
+/** Event-driven scheduler bound to one FlashMem instance. */
+class EventScheduler
+{
+  public:
+    explicit EventScheduler(const core::FlashMem &fm,
+                            SchedulerConfig cfg = {});
+
+    /**
+     * Drain @p queue under @p policy. Compiled artifacts (per model,
+     * per budget) and latency estimates persist across run() calls, so
+     * per-policy comparisons pay the offline stage once; results are
+     * unaffected because plans are deterministic per (model, budget).
+     */
+    ScheduleOutcome run(const std::vector<ModelRequest> &queue,
+                        const SchedulingPolicy &policy);
+
+    /**
+     * Drain @p queue under a preloading baseline framework. Cold-start
+     * init per request; no re-planning (the baselines have no plans).
+     */
+    static ScheduleOutcome runPreload(baselines::FrameworkId framework,
+                                      const gpusim::DeviceProfile &dev,
+                                      const std::vector<ModelRequest>
+                                          &queue,
+                                      const SchedulingPolicy &policy,
+                                      Precision precision =
+                                          Precision::FP16);
+
+    const SchedulerConfig &config() const { return cfg_; }
+
+  private:
+    /** Runs one picked request; returns its RunResult. */
+    using DispatchFn = std::function<core::RunResult(
+        gpusim::GpuSimulator &, const ReadyRequest &, SimTime now,
+        int co_resident_models)>;
+
+    /**
+     * The simulation-clock event loop shared by the FlashMem and
+     * preload paths: arrivals enter the ready set, completions free
+     * the device, @p policy picks on every free device, @p dispatch
+     * executes the pick.
+     */
+    static ScheduleOutcome drain(
+        gpusim::GpuSimulator &sim,
+        const std::vector<ModelRequest> &queue,
+        const SchedulingPolicy &policy,
+        const std::map<models::ModelId, SimTime> &estimates,
+        const DispatchFn &dispatch);
+
+    /** Finalize makespan/memory/energy/trace for @p out. */
+    static void summarize(const gpusim::GpuSimulator &sim,
+                          ScheduleOutcome &out);
+
+    /** Compiled artifact for (model, budget), compiling/re-planning on
+     * first use. Re-plans are counted into @p out. */
+    const core::CompiledModel &compiledFor(models::ModelId model,
+                                           Bytes budget,
+                                           ScheduleOutcome &out);
+
+    /** Warm single-run latency estimate (scratch simulator). */
+    SimTime estimateFor(models::ModelId model, ScheduleOutcome &out);
+
+    /** Admission budget for a model when @p co_resident distinct
+     * models currently share the capacity budget. */
+    Bytes admissionBudget(int co_resident) const;
+
+    const core::FlashMem &fm_;
+    SchedulerConfig cfg_;
+    std::map<models::ModelId, graph::Graph> graphs_;
+    std::map<std::pair<models::ModelId, Bytes>, core::CompiledModel>
+        compiled_;
+    std::map<models::ModelId, SimTime> estimates_;
+};
+
+} // namespace flashmem::multidnn
+
+#endif // FLASHMEM_MULTIDNN_SCHEDULER_HH

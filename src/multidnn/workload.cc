@@ -41,4 +41,17 @@ chainWorkload(const std::vector<models::ModelId> &models, SimTime gap)
     return out;
 }
 
+void
+assignPriorities(std::vector<ModelRequest> &queue,
+                 const std::vector<std::pair<models::ModelId, int>>
+                     &priorities)
+{
+    for (auto &req : queue) {
+        for (const auto &[m, p] : priorities) {
+            if (req.model == m)
+                req.priority = p;
+        }
+    }
+}
+
 } // namespace flashmem::multidnn

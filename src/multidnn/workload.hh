@@ -20,7 +20,15 @@ struct ModelRequest
 {
     models::ModelId model;
     SimTime arrival = 0;
+    /** Scheduling priority (higher runs first under the priority
+     * policy; ignored by FIFO/SJF). */
+    int priority = 0;
 };
+
+/** Assign per-model priorities to an existing queue (in place). */
+void assignPriorities(std::vector<ModelRequest> &queue,
+                      const std::vector<std::pair<models::ModelId, int>>
+                          &priorities);
 
 /**
  * Figure-6-style workload: @p iterations rounds over @p models in a

@@ -483,6 +483,125 @@ TEST(LcOpg, ParallelPlansWithRestartsAreByteIdentical)
     PlanMemo::global().clear();
 }
 
+// ------------------------------------- Merge re-balancing + re-planning
+
+TEST(LcOpg, MergeRebalanceTopsUpTruncatedWindows)
+{
+    // Under the latency-priority configuration some windows preload
+    // chunks even though earlier windows reserved capacity greedily
+    // and did not use it; the second merge pass moves those chunks
+    // back into the stream. Isolated memos keep the arms independent.
+    auto g = models::buildModel(models::ModelId::GPTNeoS);
+    KernelModel km(DeviceProfile::onePlus12());
+    profiler::AnalyticCapacityProvider cap(km);
+
+    OpgParams params;
+    params.mPeak = mib(1024);
+    params.lambda = 0.5;
+    params.restartConflictBase = 1024;
+
+    PlanMemo memo_off(1024), memo_on(1024);
+    params.mergeRebalance = false;
+    params.memo = &memo_off;
+    PlanStats off_stats;
+    LcOpgPlanner off(g, cap, km, params);
+    auto plan_off = off.plan(&off_stats);
+
+    params.mergeRebalance = true;
+    params.memo = &memo_on;
+    PlanStats on_stats;
+    LcOpgPlanner on(g, cap, km, params);
+    auto plan_on = on.plan(&on_stats);
+
+    EXPECT_EQ(off_stats.rebalancedChunks, 0);
+    EXPECT_GT(on_stats.rebalancedChunks, 0);
+    EXPECT_GT(on_stats.rebalancedWeights, 0);
+    // Top-ups only ever shrink the preload set, and the plan stays
+    // valid against C0/C1 (validate) and C2/C3 (the ledgers).
+    EXPECT_TRUE(plan_on.validate(g, false));
+    EXPECT_LT(plan_on.preloadBytes(g), plan_off.preloadBytes(g));
+    EXPECT_GT(plan_on.overlapFraction(g), plan_off.overlapFraction(g));
+}
+
+TEST(LcOpg, RebalancedPlanRespectsCapacitiesAndInflight)
+{
+    // The topped-up plan must still satisfy per-layer load capacities
+    // (C3) and the in-flight bound (C2), reconstructed independently.
+    auto g = models::buildModel(models::ModelId::GPTNeoS);
+    KernelModel km(DeviceProfile::onePlus12());
+    profiler::AnalyticCapacityProvider cap(km);
+    OpgParams params;
+    params.mPeak = mib(1024);
+    params.lambda = 0.5;
+    params.restartConflictBase = 1024;
+    PlanMemo memo(1024);
+    params.memo = &memo;
+    PlanStats stats;
+    LcOpgPlanner planner(g, cap, km, params);
+    auto plan = planner.plan(&stats);
+    ASSERT_GT(stats.rebalancedChunks, 0);
+
+    const auto layers = static_cast<graph::NodeId>(g.layerCount());
+    const std::int64_t mpeak_chunks = static_cast<std::int64_t>(
+        params.mPeak / params.chunkBytes);
+    std::vector<std::int64_t> per_layer(layers, 0);
+    for (graph::NodeId l = 0; l < layers; ++l) {
+        for (const auto &a : plan.assignmentsAt(l))
+            per_layer[l] += a.chunks;
+        auto spec = gpusim::kernelSpecFor(g, l, true);
+        spec.pipelined = true;
+        EXPECT_LE(per_layer[l],
+                  cap.capacityChunks(spec, params.chunkBytes))
+            << "layer " << l;
+    }
+    std::int64_t worst_inflight = 0;
+    for (graph::NodeId p = 0; p < layers; ++p) {
+        std::int64_t inflight = 0;
+        for (graph::NodeId l = 0; l <= p; ++l) {
+            for (const auto &a : plan.assignmentsAt(l)) {
+                if (g.weight(a.weight).consumer > p)
+                    inflight += a.chunks;
+            }
+        }
+        worst_inflight = std::max(worst_inflight, inflight);
+    }
+    EXPECT_LE(worst_inflight, mpeak_chunks);
+}
+
+TEST(LcOpg, ReplanMatchesFreshPlannerAtThatBudget)
+{
+    // replan() reuses the first plan()'s graph analysis but must reset
+    // the capacity/in-flight ledgers: the result has to be
+    // byte-identical to a fresh planner constructed at the new budget.
+    auto g = toyGraph(3);
+    KernelModel km(DeviceProfile::onePlus12());
+    profiler::AnalyticCapacityProvider cap(km);
+    OpgParams params;
+    params.chunkBytes = kib(256);
+    params.solverDecisionsPerWindow = 2000000;
+    params.solverTimePerWindow = 10.0;
+
+    PlanMemo memo_a(1024), memo_b(1024);
+    params.memo = &memo_a;
+    LcOpgPlanner planner(g, cap, km, params);
+    PlanStats first_stats;
+    auto first = planner.plan(&first_stats);
+    ASSERT_EQ(first_stats.overallStatus, solver::SolveStatus::Optimal);
+    PlanStats replan_stats;
+    auto replanned = planner.replan(mib(1), &replan_stats);
+    EXPECT_TRUE(replanned.validate(g, false));
+
+    params.memo = &memo_b;
+    params.mPeak = mib(1);
+    LcOpgPlanner fresh(g, cap, km, params);
+    auto expected = fresh.plan();
+    EXPECT_EQ(replanned.serialize(), expected.serialize());
+    // And re-planning back to the original budget restores the
+    // original plan bit for bit.
+    auto restored = planner.replan(OpgParams{}.mPeak);
+    EXPECT_EQ(restored.serialize(), first.serialize());
+}
+
 // ------------------------------------------------ PlanMemo persistence
 
 namespace {

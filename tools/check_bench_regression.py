@@ -10,7 +10,16 @@ snapshot:
   - any solver-comparison instance ends with a worse (higher)
     objective, or
   - any Table-4 model's plan status gets worse
-    (OPTIMAL -> FEASIBLE -> greedy/unknown ordering).
+    (OPTIMAL -> FEASIBLE -> greedy/unknown ordering), or
+  - any Fig-6 scheduler policy's makespan or mean request latency
+    (queueing delay included) worsens by more than 10%, or the
+    memory-aware policy stops re-planning.
+
+Missing data fails loudly: absent aggregate_wall_speedup fields,
+instances/models/policies present on one side but not the other, and
+absent sections are regressions (coverage loss), not silent passes.
+Regenerate the snapshot deliberately (tools/run_benchmarks.sh
+--no-gate) when the schema legitimately changes.
 
 Run by tools/run_benchmarks.sh before it replaces the snapshot.
 """
@@ -20,7 +29,47 @@ import sys
 
 STATUS_RANK = {"OPTIMAL": 0, "FEASIBLE": 1, "UNKNOWN": 2,
                "INFEASIBLE": 3}
-SPEEDUP_TOLERANCE = 0.90  # fail below 90% of the committed speedup
+SPEEDUP_TOLERANCE = 0.90   # fail below 90% of the committed speedup
+LATENCY_TOLERANCE = 1.10   # fail above 110% of the committed time
+
+
+def check_speedup(old, new, failures):
+    old_cmp = old.get("solver_comparison", {})
+    new_cmp = new.get("solver_comparison", {})
+    old_speedup = old_cmp.get("aggregate_wall_speedup")
+    new_speedup = new_cmp.get("aggregate_wall_speedup")
+    if old_speedup is None or new_speedup is None:
+        failures.append(
+            "aggregate_wall_speedup missing from "
+            + ("both snapshots" if old_speedup is None and
+               new_speedup is None else
+               "the committed snapshot" if old_speedup is None else
+               "the fresh run")
+            + " — the speedup gate cannot run")
+        return
+    if new_speedup < SPEEDUP_TOLERANCE * old_speedup:
+        failures.append(
+            f"aggregate solver speedup regressed: {old_speedup:.2f}x"
+            f" -> {new_speedup:.2f}x (> 10% drop)")
+    print(f"speedup: {old_speedup:.2f}x -> {new_speedup:.2f}x")
+
+
+def check_keyed_rows(name, key, old_rows, new_rows, failures, check):
+    """Compare rows keyed by @key; rows missing on either side fail."""
+    old_by = {r[key]: r for r in old_rows}
+    new_by = {r[key]: r for r in new_rows}
+    for k in old_by:
+        if k not in new_by:
+            failures.append(
+                f"{name} {k}: missing from the fresh run "
+                "(coverage lost)")
+    for k, row in new_by.items():
+        if k not in old_by:
+            failures.append(
+                f"{name} {k}: missing from the committed snapshot "
+                "(regenerate the snapshot to admit it)")
+            continue
+        check(k, old_by[k], row)
 
 
 def main() -> int:
@@ -34,38 +83,60 @@ def main() -> int:
 
     failures = []
 
-    old_cmp = old.get("solver_comparison", {})
-    new_cmp = new.get("solver_comparison", {})
-    old_speedup = old_cmp.get("aggregate_wall_speedup")
-    new_speedup = new_cmp.get("aggregate_wall_speedup")
-    if old_speedup and new_speedup:
-        if new_speedup < SPEEDUP_TOLERANCE * old_speedup:
-            failures.append(
-                f"aggregate solver speedup regressed: {old_speedup:.2f}x"
-                f" -> {new_speedup:.2f}x (> 10% drop)")
-        print(f"speedup: {old_speedup:.2f}x -> {new_speedup:.2f}x")
+    check_speedup(old, new, failures)
 
-    old_obj = {i["name"]: i["objective"]
-               for i in old_cmp.get("instances", [])}
-    for inst in new_cmp.get("instances", []):
-        name = inst["name"]
-        if name in old_obj and inst["objective"] > old_obj[name]:
+    def instance_check(name, old_row, new_row):
+        if new_row["objective"] > old_row["objective"]:
             failures.append(
                 f"instance {name}: objective worsened"
-                f" {old_obj[name]} -> {inst['objective']}")
+                f" {old_row['objective']} -> {new_row['objective']}")
 
-    old_status = {m["model"]: m["status"]
-                  for m in old.get("table4", [])}
-    for model in new.get("table4", []):
-        name = model["model"]
-        if name not in old_status:
-            continue
-        was = STATUS_RANK.get(old_status[name], 9)
-        now = STATUS_RANK.get(model["status"], 9)
+    check_keyed_rows(
+        "instance", "name",
+        old.get("solver_comparison", {}).get("instances", []),
+        new.get("solver_comparison", {}).get("instances", []),
+        failures, instance_check)
+
+    def table4_check(name, old_row, new_row):
+        was = STATUS_RANK.get(old_row["status"], 9)
+        now = STATUS_RANK.get(new_row["status"], 9)
         if now > was:
             failures.append(
                 f"table4 {name}: status worsened"
-                f" {old_status[name]} -> {model['status']}")
+                f" {old_row['status']} -> {new_row['status']}")
+
+    check_keyed_rows("table4", "model", old.get("table4", []),
+                     new.get("table4", []), failures, table4_check)
+
+    # Fig-6 scheduler policies: makespan and queueing-aware mean
+    # latency are the multi-DNN performance gate.
+    if "fig6_policies" not in old or "fig6_policies" not in new:
+        side = ("both snapshots"
+                if "fig6_policies" not in old and
+                "fig6_policies" not in new else
+                "the committed snapshot"
+                if "fig6_policies" not in old else "the fresh run")
+        failures.append(f"fig6_policies missing from {side}")
+    else:
+        def policy_check(name, old_row, new_row):
+            for field in ("makespan_ms", "mean_latency_ms"):
+                if field not in old_row or field not in new_row:
+                    failures.append(
+                        f"fig6 policy {name}: {field} missing")
+                    continue
+                if new_row[field] > LATENCY_TOLERANCE * old_row[field]:
+                    failures.append(
+                        f"fig6 policy {name}: {field} worsened"
+                        f" {old_row[field]:.1f} ->"
+                        f" {new_row[field]:.1f} (> 10%)")
+            if name == "memory-aware" and new_row.get("replans", 0) <= 0:
+                failures.append(
+                    "fig6 policy memory-aware: no re-plans — "
+                    "on-device re-planning went dead")
+
+        check_keyed_rows("fig6 policy", "policy",
+                         old["fig6_policies"], new["fig6_policies"],
+                         failures, policy_check)
 
     if failures:
         for f in failures:
