@@ -1,0 +1,334 @@
+/**
+ * @file
+ * High-traffic serving bench: drives the serving harness
+ * (src/serving/) with a million-request Poisson trace per scheduling
+ * policy over a mixed model zoo, reporting streaming tail latencies
+ * (P² p50/p95/p99), goodput vs. shed rate, and — via the capacity
+ * sweep — the maximum sustainable QPS per policy (the knee where the
+ * SLO blows). Per-model service times are calibrated from real
+ * FlashMem compiles/replans/executions, so the request-level simulator
+ * inherits the planner's behaviour; headline runs execute concurrently
+ * on the shared thread pool.
+ *
+ * With a JSON-path argument the per-policy numbers are written for
+ * BENCH_table4.json's `serving` section (tools/run_benchmarks.sh),
+ * regression-gated by tools/check_bench_regression.py.
+ *
+ * `--determinism`: run the headline 1M-request trace and a capacity
+ * sweep under (planner threads, pool threads) = (1,1) and (4,4) on
+ * isolated PlanMemos and fail unless every policy's p50/p95/p99, shed
+ * and degraded counts, goodput, makespan, and max sustainable QPS are
+ * bit-identical — the ctest-registered serving determinism check.
+ */
+
+#include "bench/harness.hh"
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/thread_pool.hh"
+#include "serving/sweep.hh"
+
+namespace {
+
+using namespace flashmem;
+using namespace flashmem::bench;
+
+constexpr std::size_t kHeadlineRequests = 1000000;
+constexpr std::uint64_t kTraceSeed = 2026;
+constexpr double kSloSlack = 4.0;      // bound = slack x full service
+constexpr double kHeadlineUtil = 0.7;  // offered load vs capacity
+
+/** The serving policy set under comparison. */
+std::vector<std::unique_ptr<multidnn::SchedulingPolicy>>
+servingPolicies()
+{
+    std::vector<std::unique_ptr<multidnn::SchedulingPolicy>> out;
+    out.push_back(std::make_unique<multidnn::FifoPolicy>());
+    out.push_back(std::make_unique<multidnn::SjfPolicy>());
+    out.push_back(std::make_unique<multidnn::DeadlinePolicy>(
+        multidnn::DeadlinePolicy::Overload::Shed));
+    out.push_back(std::make_unique<multidnn::DeadlinePolicy>(
+        multidnn::DeadlinePolicy::Overload::Degrade));
+    return out;
+}
+
+/** Everything one serving-bench arm needs, calibrated once. */
+struct Arm
+{
+    serving::ServiceTable services;
+    serving::ModelMix mix;
+    double headlineQps = 0.0;
+    double capacityQps = 0.0;
+    SimTime p99Bound = 0;
+};
+
+/** Calibrate the model mix on a fresh FlashMem at @p planner_threads
+ * and derive the offered-load operating points from it. */
+Arm
+calibrateArm(core::PlanMemo &memo, int planner_threads)
+{
+    auto dev = gpusim::DeviceProfile::onePlus12();
+    core::FlashMemOptions opt;
+    opt.opg.parallel.threads = planner_threads;
+    opt.opg.memo = &memo;
+    core::FlashMem fm(dev, opt);
+
+    Arm arm;
+    arm.mix.entries = {
+        {ModelId::ResNet50, 0.45, 0, 0},
+        {ModelId::DepthAnythingS, 0.25, 0, 0},
+        {ModelId::ViT, 0.20, 0, 0},
+        {ModelId::GPTNeoS, 0.10, 0, 0},
+    };
+    arm.services = serving::calibrateServices(
+        fm, arm.mix.distinctModels(), /*degrade_budget_fraction=*/0.5);
+
+    // Per-model latency SLO: a fixed slack over the calibrated
+    // full-budget service time; the sweep's p99 bound is the loosest
+    // per-model bound.
+    std::vector<std::pair<models::ModelId, double>> weights;
+    SimTime max_service = 0;
+    for (auto &e : arm.mix.entries) {
+        const auto &profile = arm.services.at(e.model);
+        e.latencyBound = static_cast<SimTime>(
+            kSloSlack * static_cast<double>(profile.service));
+        max_service = std::max(max_service, profile.service);
+        weights.emplace_back(e.model, e.weight);
+    }
+    SimTime mean_service = serving::meanService(arm.services, weights);
+    arm.capacityQps = 1.0 / toSeconds(mean_service);
+    arm.headlineQps = kHeadlineUtil * arm.capacityQps;
+    arm.p99Bound =
+        static_cast<SimTime>(kSloSlack *
+                             static_cast<double>(max_service));
+    return arm;
+}
+
+serving::SweepParams
+sweepParams(const Arm &arm, std::size_t requests_per_probe)
+{
+    serving::SweepParams sp;
+    sp.loQps = std::max(1.0, 0.05 * arm.capacityQps);
+    sp.hiQps = 8.0 * arm.capacityQps;
+    sp.requestsPerProbe = requests_per_probe;
+    sp.seed = kTraceSeed;
+    sp.slo.p99Bound = arm.p99Bound;
+    sp.slo.minGoodput = 0.95;
+    return sp;
+}
+
+/** Headline + sweep results for every policy of one arm. */
+struct PolicyFigures
+{
+    std::string policy;
+    serving::ServingOutcome headline;
+    serving::SweepResult sweep;
+};
+
+std::vector<PolicyFigures>
+runArm(const Arm &arm, ThreadPool &pool,
+       std::size_t headline_requests, std::size_t sweep_requests)
+{
+    auto policies = servingPolicies();
+    auto trace = serving::poissonTrace(
+        arm.mix, arm.headlineQps, headline_requests, kTraceSeed);
+
+    // The 1M-request headline runs execute concurrently on the pool;
+    // each run is a pure function of (trace, policy, services), so the
+    // pool size cannot change the figures.
+    std::vector<std::future<serving::ServingOutcome>> futures;
+    for (const auto &p : policies) {
+        const auto *policy = p.get();
+        futures.push_back(pool.submit([&, policy] {
+            return serving::simulateServing(trace, *policy,
+                                            arm.services);
+        }));
+    }
+
+    std::vector<PolicyFigures> out;
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        PolicyFigures f;
+        f.policy = policies[i]->name();
+        f.headline = futures[i].get();
+        out.push_back(std::move(f));
+    }
+    // Sweeps run per policy, each parallelizing its bracketing ladder
+    // on the pool (no nested submission).
+    auto sp = sweepParams(arm, sweep_requests);
+    for (std::size_t i = 0; i < policies.size(); ++i)
+        out[i].sweep = serving::findMaxSustainableQps(
+            arm.mix, *policies[i], arm.services, sp, &pool);
+    return out;
+}
+
+/** Bit-exact equality of the determinism-relevant figures. */
+bool
+figuresIdentical(const PolicyFigures &a, const PolicyFigures &b)
+{
+    const auto &sa = a.headline.stats;
+    const auto &sb = b.headline.stats;
+    return a.policy == b.policy && sa.p50() == sb.p50() &&
+           sa.p95() == sb.p95() && sa.p99() == sb.p99() &&
+           sa.shedCount() == sb.shedCount() &&
+           sa.degradedCount() == sb.degradedCount() &&
+           sa.goodput() == sb.goodput() &&
+           a.headline.makespan == b.headline.makespan &&
+           a.sweep.maxSustainableQps == b.sweep.maxSustainableQps;
+}
+
+int
+runDeterminismCheck()
+{
+    auto run_arm = [&](int threads) {
+        core::PlanMemo memo(1024);
+        auto arm = calibrateArm(memo, threads);
+        ThreadPool pool(threads);
+        return runArm(arm, pool, kHeadlineRequests,
+                      /*sweep_requests=*/100000);
+    };
+    auto t1 = run_arm(1);
+    auto t4 = run_arm(4);
+
+    bool identical = t1.size() == t4.size();
+    for (std::size_t i = 0; identical && i < t1.size(); ++i)
+        identical = figuresIdentical(t1[i], t4[i]);
+    bool exercised = false;
+    for (const auto &f : t1) {
+        exercised = exercised || f.headline.stats.shedCount() > 0 ||
+                    f.headline.stats.degradedCount() > 0;
+    }
+    std::cout << "serving determinism (planner+pool threads 1 vs 4): "
+              << (identical ? "identical" : "DIVERGED") << "\n";
+    for (const auto &f : t1) {
+        std::cout << "  " << f.policy << ": p99 "
+                  << formatMs(f.headline.stats.p99()) << ", shed "
+                  << f.headline.stats.shedCount() << ", degraded "
+                  << f.headline.stats.degradedCount() << ", max QPS "
+                  << formatDouble(f.sweep.maxSustainableQps, 2)
+                  << "\n";
+    }
+    std::cout << "SLO admission exercised: "
+              << (exercised ? "yes" : "NO") << "\n";
+    return identical && exercised ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace flashmem;
+    using namespace flashmem::bench;
+
+    if (argc > 1 && std::strcmp(argv[1], "--determinism") == 0)
+        return runDeterminismCheck();
+
+    printHeading(std::cout,
+                 "Serving harness: 1M-request capacity study");
+
+    core::PlanMemo memo(1024);
+    auto arm = calibrateArm(memo, ThreadPool::defaultThreadCount());
+
+    std::cout << "calibrated capacity "
+              << formatDouble(arm.capacityQps, 1) << " QPS, headline "
+              << formatDouble(arm.headlineQps, 1) << " QPS ("
+              << formatDouble(100.0 * kHeadlineUtil, 0)
+              << "% utilization), per-model SLO "
+              << formatDouble(kSloSlack, 1) << "x service\n";
+    Table ct({"Model", "Service", "Degraded svc", "Plan budget",
+              "Degraded budget", "SLO bound"});
+    for (const auto &e : arm.mix.entries) {
+        const auto &p = arm.services.at(e.model);
+        ct.addRow({models::modelSpec(e.model).abbr,
+                   formatMs(p.service), formatMs(p.degradedService),
+                   formatBytes(p.planBudget),
+                   formatBytes(p.degradedPlanBudget),
+                   formatMs(e.latencyBound)});
+    }
+    ct.print(std::cout);
+
+    ThreadPool pool(ThreadPool::defaultThreadCount());
+    auto figures = runArm(arm, pool, kHeadlineRequests,
+                          /*sweep_requests=*/200000);
+
+    printHeading(std::cout, "Per-policy serving figures");
+    Table t({"Policy", "p50", "p95", "p99", "Mean queue", "Goodput",
+             "Shed", "Degraded", "Max QPS"});
+    std::vector<metrics::QuantileRow> qrows;
+    bool ok = true;
+    std::ostringstream json;
+    json << "{\n  \"serving\": {\n    \"request_count\": "
+         << kHeadlineRequests
+         << ",\n    \"headline_qps\": "
+         << formatDouble(arm.headlineQps, 3)
+         << ",\n    \"slo_slack\": " << formatDouble(kSloSlack, 1)
+         << ",\n    \"policies\": [\n";
+    for (std::size_t i = 0; i < figures.size(); ++i) {
+        const auto &f = figures[i];
+        const auto &s = f.headline.stats;
+        t.addRow({f.policy, formatMs(s.p50()), formatMs(s.p95()),
+                  formatMs(s.p99()),
+                  formatDouble(s.meanQueueDelayMs(), 2) + " ms",
+                  formatDouble(100.0 * s.goodputRate(), 2) + "%",
+                  std::to_string(s.shedCount()),
+                  std::to_string(s.degradedCount()),
+                  formatDouble(f.sweep.maxSustainableQps, 1)});
+        qrows.push_back({f.policy, s.p50Ms(), s.p95Ms(), s.p99Ms()});
+        json << "      {\"policy\": \"" << f.policy
+             << "\", \"p50_ms\": " << s.p50Ms()
+             << ", \"p95_ms\": " << s.p95Ms()
+             << ", \"p99_ms\": " << s.p99Ms()
+             << ", \"mean_queue_ms\": " << s.meanQueueDelayMs()
+             << ", \"goodput\": " << s.goodputRate()
+             << ", \"shed\": " << s.shedCount()
+             << ", \"degraded\": " << s.degradedCount()
+             << ", \"max_sustainable_qps\": "
+             << f.sweep.maxSustainableQps << "}"
+             << (i + 1 < figures.size() ? "," : "") << "\n";
+
+        // Every submitted request is accounted for, the run stayed
+        // stable at 70% utilization, and quantiles are ordered.
+        ok &= !f.headline.unstable;
+        ok &= s.submitted() == kHeadlineRequests;
+        ok &= s.p50() <= s.p95() && s.p95() <= s.p99();
+        ok &= f.sweep.maxSustainableQps > 0.0;
+    }
+    t.print(std::cout);
+    json << "    ]\n  }\n}\n";
+
+    std::cout << "\nRequest-latency quantiles (shared axis):\n";
+    metrics::renderQuantileChart(std::cout, qrows, 60);
+
+    // Policy-shape checks: deadline shedding never completes a request
+    // past its bound (admission is exact against calibrated service
+    // times), and the degrade variant degrades instead of shedding.
+    const auto &deadline = figures[2];
+    const auto &degrade = figures[3];
+    ok &= deadline.policy == "deadline";
+    ok &= deadline.headline.stats.sloViolations() == 0;
+    ok &= degrade.policy == "deadline-degrade";
+    ok &= degrade.headline.stats.shedCount() == 0;
+    // Shedding doomed requests stops wasting service time on already-
+    // late work: the deadline policy sustains at least FIFO's load.
+    ok &= deadline.sweep.maxSustainableQps >=
+          figures[0].sweep.maxSustainableQps;
+
+    std::cout << "\nShape check (stable at 70% load, ordered "
+                 "quantiles, deadline admission meets bounds): "
+              << (ok ? "PASS" : "FAIL") << "\n";
+
+    if (argc > 1) {
+        std::ofstream out(argv[1]);
+        out << json.str();
+        if (out.good()) {
+            std::cout << "wrote " << argv[1] << "\n";
+        } else {
+            std::cerr << "failed to write " << argv[1] << "\n";
+            ok = false;
+        }
+    }
+    return ok ? 0 : 1;
+}

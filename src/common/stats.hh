@@ -42,6 +42,42 @@ class RunningStat
 double geomean(const std::vector<double> &values);
 
 /**
+ * Streaming quantile estimator (the P² algorithm, Jain & Chlamtac,
+ * CACM 1985): tracks one quantile of an unbounded observation stream
+ * in O(1) memory by maintaining five markers whose heights are
+ * adjusted with a piecewise-parabolic fit.
+ *
+ * Exact for the first five observations (they are kept verbatim);
+ * afterwards the estimate converges to the true quantile as the stream
+ * grows. Purely arithmetic on the observation sequence, so the
+ * estimate is bit-deterministic for a given input order — the property
+ * the serving harness's cross-thread-count determinism checks rely on.
+ */
+class P2Quantile
+{
+  public:
+    /** @param quantile target in (0, 1), e.g. 0.99 for p99. */
+    explicit P2Quantile(double quantile);
+
+    void add(double x);
+
+    /** Current estimate; nearest-rank over the stored observations
+     * while fewer than five have been seen (0 when empty). */
+    double value() const;
+
+    std::size_t count() const { return n_; }
+    double quantile() const { return p_; }
+
+  private:
+    double p_;
+    std::size_t n_ = 0;
+    double q_[5] = {};      ///< marker heights
+    double pos_[5] = {};    ///< marker positions (1-based counts)
+    double desired_[5] = {};///< desired marker positions
+    double rate_[5] = {};   ///< desired-position increment per add()
+};
+
+/**
  * Step-function time series, e.g. bytes of live memory over simulated
  * time. Samples must be appended in non-decreasing time order.
  */

@@ -51,6 +51,18 @@ struct RunResult
     SimTime requestLatency() const { return end - arrival; }
     /** Time spent queued behind other requests. */
     SimTime queueDelay() const { return start - arrival; }
+
+    /** Latency bound (SLO) the request carried; 0 = unbounded. Set by
+     * deadline-aware schedulers, 0 for standalone runs. */
+    SimTime latencyBound = 0;
+    /** True when admission dispatched this run at a degraded (reduced)
+     * capacity budget instead of shedding it. */
+    bool degraded = false;
+    /** SLO verdict: unbounded requests always count as met. */
+    bool metSlo() const
+    {
+        return latencyBound <= 0 || requestLatency() <= latencyBound;
+    }
     SimTime initLatency() const { return initDone - start; }
     SimTime execLatency() const { return end - initDone; }
 

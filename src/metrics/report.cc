@@ -96,4 +96,41 @@ renderAsciiChart(std::ostream &os,
         os << "   " << s.glyph << " = " << s.label << "\n";
 }
 
+void
+renderQuantileChart(std::ostream &os,
+                    const std::vector<QuantileRow> &rows, int width)
+{
+    FM_ASSERT(width > 10, "chart too small");
+    double max_p99 = 0.0;
+    std::size_t label_width = 0;
+    for (const auto &r : rows) {
+        max_p99 = std::max(max_p99, r.p99Ms);
+        label_width = std::max(label_width, r.label.size());
+    }
+    if (rows.empty() || max_p99 <= 0.0) {
+        os << "(empty chart)\n";
+        return;
+    }
+    auto mark = [&](std::string &axis, double ms, char glyph) {
+        int x = static_cast<int>(ms / max_p99 *
+                                 static_cast<double>(width - 1));
+        axis[static_cast<std::size_t>(std::clamp(x, 0, width - 1))] =
+            glyph;
+    };
+    for (const auto &r : rows) {
+        std::string axis(width, '-');
+        mark(axis, r.p50Ms, '5');
+        mark(axis, r.p95Ms, '9');
+        mark(axis, r.p99Ms, '!');
+        os << "  " << r.label
+           << std::string(label_width - r.label.size(), ' ') << " |"
+           << axis << "|  p50 " << formatDouble(r.p50Ms, 1)
+           << "  p95 " << formatDouble(r.p95Ms, 1) << "  p99 "
+           << formatDouble(r.p99Ms, 1) << " ms\n";
+    }
+    os << "  " << std::string(label_width, ' ') << "  0"
+       << std::string(static_cast<std::size_t>(width) - 1, ' ')
+       << formatDouble(max_p99, 1) << " ms   (5=p50 9=p95 !=p99)\n";
+}
+
 } // namespace flashmem::metrics

@@ -58,6 +58,24 @@ void renderAsciiChart(std::ostream &os,
                       const std::vector<ChartSeries> &series, int width,
                       int height);
 
+/** One labelled latency-quantile row (milliseconds). */
+struct QuantileRow
+{
+    std::string label;
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+};
+
+/**
+ * Render per-policy latency quantiles on one shared horizontal axis:
+ * each row marks p50 ('5'), p95 ('9'), and p99 ('!') positions scaled
+ * to the largest p99 across rows (serving-bench tail comparison).
+ */
+void renderQuantileChart(std::ostream &os,
+                         const std::vector<QuantileRow> &rows,
+                         int width);
+
 } // namespace flashmem::metrics
 
 #endif // FLASHMEM_METRICS_REPORT_HH

@@ -1,5 +1,7 @@
 #include "multidnn/policies.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace flashmem::multidnn {
@@ -70,6 +72,44 @@ PriorityAgingPolicy::select(SimTime now,
     return best;
 }
 
+std::size_t
+DeadlinePolicy::select(SimTime,
+                       const std::vector<ReadyRequest> &ready) const
+{
+    FM_ASSERT(!ready.empty(), "select() on empty ready set");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+        if (ready[i].deadline() != ready[best].deadline()
+                ? ready[i].deadline() < ready[best].deadline()
+                : fifoBefore(ready[i], ready[best]))
+            best = i;
+    }
+    return best;
+}
+
+Admission
+DeadlinePolicy::admit(SimTime now, const ReadyRequest &r) const
+{
+    if (r.latencyBound <= 0)
+        return Admission::Admit;
+    // Feasible iff the request could still meet its deadline were it
+    // dispatched right now at its full-budget estimate.
+    if (now + r.estimatedLatency <= r.deadline())
+        return Admission::Admit;
+    return mode_ == Overload::Shed ? Admission::Shed
+                                   : Admission::Degrade;
+}
+
+Bytes
+DeadlinePolicy::degradedBudget(Bytes base_budget) const
+{
+    if (mode_ != Overload::Degrade)
+        return base_budget;
+    auto scaled = static_cast<Bytes>(
+        static_cast<double>(base_budget) * degrade_fraction_);
+    return std::min(base_budget, scaled);
+}
+
 std::unique_ptr<SchedulingPolicy>
 makePolicy(PolicyKind kind)
 {
@@ -80,6 +120,8 @@ makePolicy(PolicyKind kind)
         return std::make_unique<SjfPolicy>();
       case PolicyKind::PriorityAging:
         return std::make_unique<PriorityAgingPolicy>();
+      case PolicyKind::Deadline:
+        return std::make_unique<DeadlinePolicy>();
       case PolicyKind::MemoryAware:
         return std::make_unique<MemoryAwarePolicy>();
     }
@@ -93,6 +135,7 @@ allPolicyKinds()
         PolicyKind::Fifo,
         PolicyKind::ShortestJobFirst,
         PolicyKind::PriorityAging,
+        PolicyKind::Deadline,
         PolicyKind::MemoryAware,
     };
     return kinds;

@@ -31,6 +31,25 @@ struct ReadyRequest
     /** Warm single-run execution estimate for this model (SJF key);
      * only populated when the policy declares needsEstimates(). */
     SimTime estimatedLatency = 0;
+    /** Latency SLO carried by the request (0 = unbounded). */
+    SimTime latencyBound = 0;
+    /** Sticky degrade mark: once admission degrades a request it is
+     * dispatched at the policy's degraded budget. */
+    bool degraded = false;
+
+    /** Absolute completion deadline (kTimeNever when unbounded). */
+    SimTime deadline() const
+    {
+        return latencyBound > 0 ? arrival + latencyBound : kTimeNever;
+    }
+};
+
+/** Admission verdict for one ready request at a dispatch point. */
+enum class Admission
+{
+    Admit,   ///< eligible to run as-is
+    Degrade, ///< run, but at the policy's degraded capacity budget
+    Shed,    ///< drop: it cannot meet its SLO; do not dispatch
 };
 
 /** Strategy deciding which ready request runs on the freed device. */
@@ -61,6 +80,36 @@ class SchedulingPolicy
      * then does the scheduler pay for per-model estimate runs.
      */
     virtual bool needsEstimates() const { return false; }
+
+    /**
+     * True when admit() can return anything but Admit; only then do
+     * schedulers pay the per-dispatch admission pass over the ready
+     * set (mirrors needsEstimates()).
+     */
+    virtual bool needsAdmission() const { return false; }
+
+    /**
+     * SLO admission, re-evaluated on every ready request at each
+     * dispatch point (device just freed). Shed requests are removed
+     * from the ready set and recorded in ScheduleOutcome::shed;
+     * degraded requests stay ready but dispatch at degradedBudget().
+     * The default admits everything.
+     */
+    virtual Admission admit(SimTime /*now*/,
+                            const ReadyRequest & /*r*/) const
+    {
+        return Admission::Admit;
+    }
+
+    /**
+     * Capacity budget for requests this policy degraded; the scheduler
+     * quantizes and clamps it like any admission share. Identity for
+     * policies that never degrade.
+     */
+    virtual Bytes degradedBudget(Bytes base_budget) const
+    {
+        return base_budget;
+    }
 };
 
 /** Arrival order (queue-index tie-break) — the seed FIFO drain. */
@@ -123,12 +172,55 @@ class MemoryAwarePolicy : public FifoPolicy
     bool memoryAware() const override { return true; }
 };
 
+/**
+ * Deadline/SLO-aware admission (ROADMAP "deadline/SLO-aware admission"
+ * item): earliest-deadline-first selection, and at every dispatch
+ * point any ready request that can no longer meet its latency bound —
+ * even if started immediately (now + estimate > deadline) — is shed
+ * (Overload::Shed, the default) or degraded (Overload::Degrade): kept
+ * alive but dispatched at a reduced capacity budget, freeing shared
+ * memory for co-resident models at the cost of a late completion.
+ * Unbounded requests are always admitted and order behind bounded
+ * ones (deadline = never).
+ */
+class DeadlinePolicy : public SchedulingPolicy
+{
+  public:
+    /** What to do with a request that cannot meet its deadline. */
+    enum class Overload { Shed, Degrade };
+
+    explicit DeadlinePolicy(Overload mode = Overload::Shed,
+                            double degrade_budget_fraction = 0.5)
+        : mode_(mode),
+          degrade_fraction_(degrade_budget_fraction)
+    {}
+
+    const char *name() const override
+    {
+        return mode_ == Overload::Shed ? "deadline" : "deadline-degrade";
+    }
+    std::size_t select(SimTime now,
+                       const std::vector<ReadyRequest> &ready)
+        const override;
+    bool needsEstimates() const override { return true; }
+    bool needsAdmission() const override { return true; }
+    Admission admit(SimTime now, const ReadyRequest &r) const override;
+    Bytes degradedBudget(Bytes base_budget) const override;
+
+    Overload mode() const { return mode_; }
+
+  private:
+    Overload mode_;
+    double degrade_fraction_;
+};
+
 /** The built-in policy set, for iteration in benches/tests. */
 enum class PolicyKind
 {
     Fifo,
     ShortestJobFirst,
     PriorityAging,
+    Deadline,
     MemoryAware,
 };
 

@@ -53,6 +53,41 @@ ScheduleOutcome::meanQueueDelay() const
     return total / static_cast<SimTime>(runs.size());
 }
 
+std::size_t
+ScheduleOutcome::goodput() const
+{
+    std::size_t good = 0;
+    for (const auto &r : runs)
+        good += r.metSlo() ? 1 : 0;
+    return good;
+}
+
+std::size_t
+ScheduleOutcome::sloViolations() const
+{
+    return runs.size() - goodput();
+}
+
+double
+ScheduleOutcome::goodputRate() const
+{
+    std::size_t submitted = runs.size() + shed.size();
+    if (submitted == 0)
+        return 1.0;
+    return static_cast<double>(goodput()) /
+           static_cast<double>(submitted);
+}
+
+double
+ScheduleOutcome::shedRate() const
+{
+    std::size_t submitted = runs.size() + shed.size();
+    if (submitted == 0)
+        return 0.0;
+    return static_cast<double>(shed.size()) /
+           static_cast<double>(submitted);
+}
+
 EventScheduler::EventScheduler(const core::FlashMem &fm,
                                SchedulerConfig cfg)
     : fm_(fm), cfg_(cfg)
@@ -107,7 +142,8 @@ EventScheduler::drain(gpusim::GpuSimulator &sim,
             auto est = estimates.find(req.model);
             ready.push_back({ev.seq, req.model, req.arrival,
                              req.priority,
-                             est != estimates.end() ? est->second : 0});
+                             est != estimates.end() ? est->second : 0,
+                             req.latencyBound});
         } else {
             busy = false;
         }
@@ -117,6 +153,29 @@ EventScheduler::drain(gpusim::GpuSimulator &sim,
         // compares every request that is ready at this instant.
         if (!events.empty() && events.top().time <= now &&
             events.top().kind == Event::Arrival)
+            continue;
+
+        // SLO admission pass (deadline-aware policies): requests that
+        // can no longer meet their bound are shed here — before
+        // selection — or stickily marked for degraded dispatch. The
+        // ready set is scanned in arrival order, so verdicts are
+        // deterministic.
+        for (std::size_t i = 0;
+             policy.needsAdmission() && i < ready.size();) {
+            auto verdict = policy.admit(now, ready[i]);
+            if (verdict == Admission::Shed) {
+                out.shed.push_back({ready[i].queueIndex,
+                                    ready[i].model, ready[i].arrival,
+                                    ready[i].latencyBound, now});
+                ready.erase(ready.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+                continue;
+            }
+            if (verdict == Admission::Degrade)
+                ready[i].degraded = true;
+            ++i;
+        }
+        if (ready.empty())
             continue;
 
         auto pick = policy.select(now, ready);
@@ -137,6 +196,10 @@ EventScheduler::drain(gpusim::GpuSimulator &sim,
         auto r = dispatch(sim, picked, now,
                           static_cast<int>(distinct.size()));
         r.arrival = picked.arrival;
+        r.latencyBound = picked.latencyBound;
+        r.degraded = picked.degraded;
+        if (picked.degraded)
+            ++out.degradedRuns;
         events.push({r.end, Event::Completion, picked.queueIndex});
         out.runs.push_back(std::move(r));
         busy = true;
@@ -146,16 +209,31 @@ EventScheduler::drain(gpusim::GpuSimulator &sim,
 }
 
 Bytes
+quantizeBudgetShare(Bytes share, const SchedulerConfig &cfg,
+                    Bytes chunk_floor, Bytes mPeak)
+{
+    // Quantize down so ready-set fluctuations do not churn re-plans.
+    share -= share % std::max<Bytes>(cfg.budgetQuantum, 1);
+    share = std::max(share, std::max(cfg.minModelBudget, chunk_floor));
+    return std::min(share, mPeak);
+}
+
+Bytes
+EventScheduler::clampQuantize(Bytes share) const
+{
+    // cfg_.minModelBudget already folds in the chunk-size floor (ctor).
+    return quantizeBudgetShare(share, cfg_, 0,
+                               fm_.options().opg.mPeak);
+}
+
+Bytes
 EventScheduler::admissionBudget(int co_resident) const
 {
     // The shared capacity budget caps even a lone model: its share is
     // the whole budget, still clamped to the configured plan budget.
     Bytes share = cfg_.capacityBudget /
                   static_cast<Bytes>(std::max(co_resident, 1));
-    // Quantize down so ready-set fluctuations do not churn re-plans.
-    share -= share % cfg_.budgetQuantum;
-    share = std::max(share, cfg_.minModelBudget);
-    return std::min(share, fm_.options().opg.mPeak);
+    return clampQuantize(share);
 }
 
 const core::CompiledModel &
@@ -234,6 +312,14 @@ EventScheduler::run(const std::vector<ModelRequest> &queue,
             Bytes budget = fm_.options().opg.mPeak;
             if (memory_aware)
                 budget = admissionBudget(co_resident);
+            if (picked.degraded) {
+                // Degraded dispatch: the policy's reduced budget frees
+                // shared capacity instead of dropping the request.
+                budget = std::min(
+                    budget,
+                    clampQuantize(policy.degradedBudget(
+                        fm_.options().opg.mPeak)));
+            }
             const auto &cm = compiledFor(picked.model, budget,
                                          replan_acc);
             return fm_.execute(s, cm, now);

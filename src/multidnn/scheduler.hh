@@ -54,6 +54,26 @@ struct SchedulerConfig
     bool replanOnBudgetShift = true;
 };
 
+/**
+ * Quantize a per-model budget share down to @p cfg.budgetQuantum and
+ * clamp it to [max(cfg.minModelBudget, chunk_floor), mPeak] — the one
+ * rule every admission and degrade budget passes through, shared with
+ * the serving harness's service calibration so both re-plan at the
+ * same budgets.
+ */
+Bytes quantizeBudgetShare(Bytes share, const SchedulerConfig &cfg,
+                          Bytes chunk_floor, Bytes mPeak);
+
+/** One request dropped by SLO admission (never dispatched). */
+struct ShedRecord
+{
+    std::size_t queueIndex = 0;
+    models::ModelId model{};
+    SimTime arrival = 0;
+    SimTime latencyBound = 0;
+    SimTime shedAt = 0; ///< dispatch point at which it was dropped
+};
+
 /** Outcome of draining one request queue. */
 struct ScheduleOutcome
 {
@@ -79,10 +99,27 @@ struct ScheduleOutcome
     double replanSeconds = 0.0;       ///< wall time spent re-planning
     /** @} */
 
+    /** @name SLO admission (deadline-aware policies). @{ */
+    /** Requests dropped by admission, in shed order. */
+    std::vector<ShedRecord> shed;
+    /** Runs dispatched at a degraded capacity budget. */
+    int degradedRuns = 0;
+    /** @} */
+
     /** Mean request latency (end - arrival): includes queueing delay. */
     SimTime meanLatency() const;
     /** Mean time requests spent queued before dispatch. */
     SimTime meanQueueDelay() const;
+
+    /** Completed runs that met their SLO (unbounded requests count;
+     * shed requests never do — they did not complete). */
+    std::size_t goodput() const;
+    /** Completed runs that blew their latency bound. */
+    std::size_t sloViolations() const;
+    /** goodput() over all submitted requests (completed + shed). */
+    double goodputRate() const;
+    /** Shed requests over all submitted requests. */
+    double shedRate() const;
 };
 
 /** Event-driven scheduler bound to one FlashMem instance. */
@@ -150,6 +187,10 @@ class EventScheduler
     /** Admission budget for a model when @p co_resident distinct
      * models currently share the capacity budget. */
     Bytes admissionBudget(int co_resident) const;
+
+    /** Quantize @p share down to the budget quantum and clamp it to
+     * [minModelBudget, configured mPeak]. */
+    Bytes clampQuantize(Bytes share) const;
 
     const core::FlashMem &fm_;
     SchedulerConfig cfg_;

@@ -23,6 +23,18 @@ struct ModelRequest
     /** Scheduling priority (higher runs first under the priority
      * policy; ignored by FIFO/SJF). */
     int priority = 0;
+    /**
+     * Latency SLO: the request must finish within this bound of its
+     * arrival (0 = unbounded). Deadline-aware policies shed or degrade
+     * requests that cannot meet it; other policies ignore it.
+     */
+    SimTime latencyBound = 0;
+
+    /** Absolute completion deadline (kTimeNever when unbounded). */
+    SimTime deadline() const
+    {
+        return latencyBound > 0 ? arrival + latencyBound : kTimeNever;
+    }
 };
 
 /** Assign per-model priorities to an existing queue (in place). */

@@ -1,0 +1,58 @@
+#include "serving/serving_stats.hh"
+
+namespace flashmem::serving {
+
+void
+ServingStats::recordCompletion(SimTime latency, SimTime queue_delay,
+                               bool met_slo, bool degraded)
+{
+    ++completed_;
+    if (met_slo)
+        ++goodput_;
+    if (degraded)
+        ++degraded_;
+    auto lat = static_cast<double>(latency);
+    q50_.add(lat);
+    q95_.add(lat);
+    q99_.add(lat);
+    latency_ms_.add(toMilliseconds(latency));
+    queue_ms_.add(toMilliseconds(queue_delay));
+}
+
+void
+ServingStats::recordShed()
+{
+    ++shed_;
+}
+
+ServingStats
+ServingStats::fromOutcome(const multidnn::ScheduleOutcome &o)
+{
+    ServingStats s;
+    for (const auto &r : o.runs)
+        s.recordCompletion(r.requestLatency(), r.queueDelay(),
+                           r.metSlo(), r.degraded);
+    for (std::size_t i = 0; i < o.shed.size(); ++i)
+        s.recordShed();
+    return s;
+}
+
+double
+ServingStats::goodputRate() const
+{
+    if (submitted() == 0)
+        return 1.0;
+    return static_cast<double>(goodput_) /
+           static_cast<double>(submitted());
+}
+
+double
+ServingStats::shedRate() const
+{
+    if (submitted() == 0)
+        return 0.0;
+    return static_cast<double>(shed_) /
+           static_cast<double>(submitted());
+}
+
+} // namespace flashmem::serving

@@ -1,0 +1,223 @@
+#include "serving/sweep.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace flashmem::serving {
+
+namespace {
+
+using multidnn::Admission;
+using multidnn::ModelRequest;
+using multidnn::ReadyRequest;
+
+/** One event of the simulation clock (mirrors the EventScheduler's
+ * ordering: arrivals before completions at equal times). */
+struct Event
+{
+    SimTime time = 0;
+    enum Kind { Arrival = 0, Completion = 1 } kind = Arrival;
+    std::size_t seq = 0;
+
+    bool
+    operator>(const Event &o) const
+    {
+        if (time != o.time)
+            return time > o.time;
+        if (kind != o.kind)
+            return kind > o.kind;
+        return seq > o.seq;
+    }
+};
+
+} // namespace
+
+ServingOutcome
+simulateServing(const std::vector<ModelRequest> &trace,
+                const multidnn::SchedulingPolicy &policy,
+                const ServiceTable &services,
+                const ServingSimParams &params)
+{
+    ServingOutcome out;
+    out.policy = policy.name();
+    out.submitted = trace.size();
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        events;
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        events.push({trace[i].arrival, Event::Arrival, i});
+
+    std::vector<ReadyRequest> ready;
+    bool busy = false;
+    SimTime now = 0;
+    while (!events.empty()) {
+        auto ev = events.top();
+        events.pop();
+        now = std::max(now, ev.time);
+        if (ev.kind == Event::Arrival) {
+            const auto &req = trace[ev.seq];
+            auto it = services.find(req.model);
+            FM_ASSERT(it != services.end(),
+                      "simulateServing: model missing from the "
+                      "service table");
+            ready.push_back({ev.seq, req.model, req.arrival,
+                             req.priority, it->second.service,
+                             req.latencyBound});
+            if (ready.size() > params.readyLimit) {
+                out.unstable = true;
+                break;
+            }
+        } else {
+            busy = false;
+        }
+        if (busy || ready.empty())
+            continue;
+        if (!events.empty() && events.top().time <= now &&
+            events.top().kind == Event::Arrival)
+            continue;
+
+        // SLO admission, in arrival order — same pass as the real
+        // EventScheduler::drain.
+        for (std::size_t i = 0;
+             policy.needsAdmission() && i < ready.size();) {
+            auto verdict = policy.admit(now, ready[i]);
+            if (verdict == Admission::Shed) {
+                out.stats.recordShed();
+                ready.erase(ready.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+                continue;
+            }
+            if (verdict == Admission::Degrade)
+                ready[i].degraded = true;
+            ++i;
+        }
+        if (ready.empty())
+            continue;
+
+        auto pick = policy.select(now, ready);
+        FM_ASSERT(pick < ready.size(), "policy picked out of range");
+        ReadyRequest picked = ready[pick];
+        ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pick));
+
+        const auto &profile = services.at(picked.model);
+        SimTime service = picked.degraded ? profile.degradedService
+                                          : profile.service;
+        Bytes peak = picked.degraded ? profile.degradedPeakBytes
+                                     : profile.peakBytes;
+        SimTime end = now + service;
+        SimTime latency = end - picked.arrival;
+        bool met = picked.latencyBound <= 0 ||
+                   latency <= picked.latencyBound;
+        out.stats.recordCompletion(latency, now - picked.arrival, met,
+                                   picked.degraded);
+        out.makespan = std::max(out.makespan, end);
+        out.peakMemory = std::max(out.peakMemory, peak);
+        events.push({end, Event::Completion, picked.queueIndex});
+        busy = true;
+    }
+    return out;
+}
+
+namespace {
+
+/** Probe one operating point: seeded Poisson trace, one sim run. */
+ProbePoint
+probe(const ModelMix &mix, const multidnn::SchedulingPolicy &policy,
+      const ServiceTable &services, const SweepParams &params,
+      double qps)
+{
+    auto trace =
+        poissonTrace(mix, qps, params.requestsPerProbe, params.seed);
+    auto out = simulateServing(trace, policy, services, params.sim);
+
+    ProbePoint pt;
+    pt.qps = qps;
+    pt.unstable = out.unstable;
+    pt.p99Ms = out.stats.p99Ms();
+    pt.goodputRate = out.stats.goodputRate();
+    pt.shed = out.stats.shedCount();
+    pt.sustainable = !out.unstable && out.stats.completed() > 0 &&
+                     out.stats.goodputRate() >= params.slo.minGoodput;
+    if (params.slo.p99Bound > 0)
+        pt.sustainable =
+            pt.sustainable &&
+            out.stats.p99() <= params.slo.p99Bound;
+    return pt;
+}
+
+} // namespace
+
+SweepResult
+findMaxSustainableQps(const ModelMix &mix,
+                      const multidnn::SchedulingPolicy &policy,
+                      const ServiceTable &services,
+                      const SweepParams &params, ThreadPool *pool)
+{
+    FM_ASSERT(params.loQps > 0.0 && params.hiQps >= params.loQps,
+              "bad sweep QPS range");
+    FM_ASSERT(params.resolution > 0.0, "bad sweep resolution");
+
+    // Geometric bracketing ladder: loQps, 2*loQps, ... , hiQps.
+    std::vector<double> ladder;
+    for (double q = params.loQps; q < params.hiQps; q *= 2.0)
+        ladder.push_back(q);
+    ladder.push_back(params.hiQps);
+
+    SweepResult result;
+    // Ladder probes are pure functions of (mix, qps, seed): evaluating
+    // them concurrently cannot change the outcome.
+    if (pool) {
+        std::vector<std::future<ProbePoint>> futures;
+        futures.reserve(ladder.size());
+        for (double q : ladder)
+            futures.push_back(pool->submit([&, q] {
+                return probe(mix, policy, services, params, q);
+            }));
+        for (auto &f : futures)
+            result.probes.push_back(f.get());
+    } else {
+        for (double q : ladder)
+            result.probes.push_back(
+                probe(mix, policy, services, params, q));
+    }
+
+    // Bracket [lo, hi): lo = last sustainable rung before the first
+    // unsustainable one, hi = that first unsustainable rung.
+    double lo = 0.0, hi = 0.0;
+    for (const auto &pt : result.probes) {
+        if (pt.sustainable) {
+            lo = pt.qps;
+        } else {
+            hi = pt.qps;
+            break;
+        }
+    }
+    if (lo == 0.0) {
+        // Even the lowest rung failed the SLO.
+        result.maxSustainableQps = 0.0;
+        return result;
+    }
+    if (hi == 0.0) {
+        // Everything up to the cap sustained.
+        result.maxSustainableQps = params.hiQps;
+        return result;
+    }
+
+    // Geometric binary search inside the bracket.
+    while ((hi - lo) / lo > params.resolution) {
+        double mid = std::sqrt(lo * hi);
+        auto pt = probe(mix, policy, services, params, mid);
+        result.probes.push_back(pt);
+        if (pt.sustainable)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    result.maxSustainableQps = lo;
+    return result;
+}
+
+} // namespace flashmem::serving

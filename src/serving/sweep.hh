@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Request-level serving simulator + streaming-percentile capacity
+ * sweeps.
+ *
+ * simulateServing() mirrors the EventScheduler's event loop — same
+ * arrival/completion ordering, same SchedulingPolicy selection and SLO
+ * admission (shed / degrade) — but dispatch costs one table lookup
+ * into calibrated per-model service times (serving/slo.hh) instead of
+ * a full streamed execution. That makes million-request runs cheap
+ * (O(1) arithmetic per request) while staying grounded in real
+ * planner/runtime numbers, and bit-deterministic for a given trace.
+ *
+ * findMaxSustainableQps() locates the capacity knee per policy: the
+ * largest offered QPS whose probe run still meets the SloSpec (p99
+ * under the bound, goodput above the floor). Probes are pure
+ * functions of (mix, qps, seed), so the bracketing ladder can run
+ * concurrently on a ThreadPool with no effect on the result.
+ */
+
+#ifndef FLASHMEM_SERVING_SWEEP_HH
+#define FLASHMEM_SERVING_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "multidnn/policies.hh"
+#include "serving/serving_stats.hh"
+#include "serving/slo.hh"
+#include "serving/trace_gen.hh"
+
+namespace flashmem::serving {
+
+/** Knobs of the fast request-level simulator. */
+struct ServingSimParams
+{
+    /**
+     * Backlog bound: when the ready set exceeds this many queued
+     * requests the run is declared unstable (offered load is beyond
+     * capacity and the queue diverges) and aborted early — any SLO
+     * would long since have blown, and the bound keeps overloaded
+     * sweep probes from going quadratic.
+     */
+    std::size_t readyLimit = 4096;
+};
+
+/** Outcome of one simulated serving run. */
+struct ServingOutcome
+{
+    std::string policy;
+    ServingStats stats;
+    SimTime makespan = 0;
+    /** Peak calibrated working set over the dispatched runs. */
+    Bytes peakMemory = 0;
+    /** True when the backlog exceeded readyLimit and the run aborted:
+     * the offered load is not sustainable. */
+    bool unstable = false;
+    /** Requests submitted (trace size), including unprocessed ones on
+     * an unstable abort. */
+    std::size_t submitted = 0;
+};
+
+/** Drain @p trace against calibrated @p services under @p policy. */
+ServingOutcome simulateServing(
+    const std::vector<multidnn::ModelRequest> &trace,
+    const multidnn::SchedulingPolicy &policy,
+    const ServiceTable &services, const ServingSimParams &params = {});
+
+/** One evaluated operating point of a capacity sweep. */
+struct ProbePoint
+{
+    double qps = 0.0;
+    bool sustainable = false;
+    double p99Ms = 0.0;
+    double goodputRate = 0.0;
+    std::size_t shed = 0;
+    bool unstable = false;
+};
+
+/** Capacity-sweep configuration. */
+struct SweepParams
+{
+    double loQps = 1.0;     ///< ladder start (assumed sustainable-ish)
+    double hiQps = 8192.0;  ///< ladder cap
+    /** Stop refining when the bracket is within this relative width. */
+    double resolution = 0.05;
+    std::size_t requestsPerProbe = 200000;
+    std::uint64_t seed = 1;
+    SloSpec slo;
+    ServingSimParams sim;
+};
+
+/** Result of one policy's capacity sweep. */
+struct SweepResult
+{
+    /** Largest probed QPS meeting the SLO (0 if even loQps fails). */
+    double maxSustainableQps = 0.0;
+    /** Every probe evaluated, in evaluation order. */
+    std::vector<ProbePoint> probes;
+};
+
+/**
+ * Binary-search the max sustainable QPS of @p policy over @p mix.
+ * @p pool, when given, evaluates the bracketing ladder concurrently;
+ * the result is identical with or without it.
+ */
+SweepResult findMaxSustainableQps(const ModelMix &mix,
+                                  const multidnn::SchedulingPolicy
+                                      &policy,
+                                  const ServiceTable &services,
+                                  const SweepParams &params,
+                                  ThreadPool *pool = nullptr);
+
+} // namespace flashmem::serving
+
+#endif // FLASHMEM_SERVING_SWEEP_HH

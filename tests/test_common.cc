@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -121,6 +123,84 @@ TEST(RunningStat, EmptyIsZero)
     EXPECT_EQ(st.count(), 0u);
     EXPECT_DOUBLE_EQ(st.mean(), 0.0);
     EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+}
+
+// ------------------------------------------------- P2 quantile estimator
+
+/** Exact empirical quantile by sorting (nearest-rank). */
+double
+exactQuantile(std::vector<double> xs, double p)
+{
+    std::sort(xs.begin(), xs.end());
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(xs.size())));
+    rank = std::min(std::max<std::size_t>(rank, 1), xs.size());
+    return xs[rank - 1];
+}
+
+TEST(P2Quantile, ExactForSmallStreams)
+{
+    P2Quantile q(0.5);
+    EXPECT_EQ(q.value(), 0.0);
+    q.add(30.0);
+    EXPECT_DOUBLE_EQ(q.value(), 30.0);
+    q.add(10.0);
+    q.add(20.0);
+    // Nearest-rank median of {10, 20, 30}.
+    EXPECT_DOUBLE_EQ(q.value(), 20.0);
+    EXPECT_EQ(q.count(), 3u);
+}
+
+TEST(P2Quantile, TracksUniformQuantiles)
+{
+    // 50k uniform draws: the estimate must land within 1% of the range
+    // of the exact sorted quantile, for the median and both tails.
+    Rng rng(42);
+    std::vector<double> xs;
+    P2Quantile p50(0.50), p95(0.95), p99(0.99);
+    for (int i = 0; i < 50000; ++i) {
+        double x = rng.uniform(0.0, 1000.0);
+        xs.push_back(x);
+        p50.add(x);
+        p95.add(x);
+        p99.add(x);
+    }
+    EXPECT_NEAR(p50.value(), exactQuantile(xs, 0.50), 10.0);
+    EXPECT_NEAR(p95.value(), exactQuantile(xs, 0.95), 10.0);
+    EXPECT_NEAR(p99.value(), exactQuantile(xs, 0.99), 10.0);
+}
+
+TEST(P2Quantile, TracksHeavyTailedQuantiles)
+{
+    // Exponential tail (the shape request latencies take): estimates
+    // stay within 3% of the exact quantile value.
+    Rng rng(7);
+    std::vector<double> xs;
+    P2Quantile p50(0.50), p99(0.99);
+    for (int i = 0; i < 100000; ++i) {
+        double x = -std::log1p(-rng.uniform());
+        xs.push_back(x);
+        p50.add(x);
+        p99.add(x);
+    }
+    double exact50 = exactQuantile(xs, 0.50);
+    double exact99 = exactQuantile(xs, 0.99);
+    EXPECT_NEAR(p50.value(), exact50, 0.03 * exact50);
+    EXPECT_NEAR(p99.value(), exact99, 0.03 * exact99);
+    // ~ln 2 and ~ln 100 analytically.
+    EXPECT_NEAR(p50.value(), std::log(2.0), 0.05);
+    EXPECT_NEAR(p99.value(), std::log(100.0), 0.25);
+}
+
+TEST(P2Quantile, IsDeterministicForAGivenStream)
+{
+    Rng a(11), b(11);
+    P2Quantile qa(0.95), qb(0.95);
+    for (int i = 0; i < 10000; ++i) {
+        qa.add(a.gaussian(100.0, 15.0));
+        qb.add(b.gaussian(100.0, 15.0));
+    }
+    EXPECT_EQ(qa.value(), qb.value()); // bit-identical
 }
 
 TEST(Geomean, MatchesClosedForm)

@@ -201,6 +201,104 @@ TEST(Policies, MakePolicyCoversAllKinds)
     EXPECT_FALSE(FifoPolicy{}.memoryAware());
 }
 
+// ------------------------------------------ deadline / SLO admission
+
+TEST(Deadline, BoundedRequestBehindLongLlmRunIsShedNotBlown)
+{
+    // A long GPT-Neo run holds the device; a ResNet50 with a tight
+    // latency bound arrives just after. By the time the device frees,
+    // the bound cannot be met even if dispatched immediately —
+    // deadline admission sheds it instead of blowing its SLO, and the
+    // shed request does not count toward goodput.
+    FlashMem fm(DeviceProfile::onePlus12());
+    EventScheduler sched(fm);
+    std::vector<ModelRequest> queue{
+        {ModelId::GPTNeoS, 0, 0, 0},
+        {ModelId::ResNet50, milliseconds(1), 0,
+         /*latencyBound=*/milliseconds(60)},
+    };
+
+    // FIFO runs it anyway and blows the bound.
+    auto fifo = sched.run(queue, FifoPolicy{});
+    ASSERT_EQ(fifo.runs.size(), 2u);
+    EXPECT_FALSE(fifo.runs[1].metSlo());
+    EXPECT_EQ(fifo.goodput(), 1u);
+    EXPECT_EQ(fifo.sloViolations(), 1u);
+    EXPECT_TRUE(fifo.shed.empty());
+
+    auto out = sched.run(queue, DeadlinePolicy{});
+    ASSERT_EQ(out.runs.size(), 1u);
+    EXPECT_EQ(out.runs[0].model, "gptneo_s");
+    ASSERT_EQ(out.shed.size(), 1u);
+    EXPECT_EQ(out.shed[0].queueIndex, 1u);
+    EXPECT_EQ(out.shed[0].model, ModelId::ResNet50);
+    EXPECT_EQ(out.shed[0].latencyBound, milliseconds(60));
+    EXPECT_GE(out.shed[0].shedAt, out.runs[0].start);
+    // Goodput counts only completed-in-bound runs; shed ones never do.
+    EXPECT_EQ(out.goodput(), 1u);
+    EXPECT_EQ(out.sloViolations(), 0u);
+    EXPECT_DOUBLE_EQ(out.goodputRate(), 0.5);
+    EXPECT_DOUBLE_EQ(out.shedRate(), 0.5);
+}
+
+TEST(Deadline, DegradeModeReplansInsteadOfShedding)
+{
+    // Same doomed request under Overload::Degrade: it still runs —
+    // at a degraded (re-planned) budget that frees shared capacity —
+    // and is counted as a violation, not a shed.
+    FlashMem fm(DeviceProfile::onePlus12());
+    EventScheduler sched(fm);
+    std::vector<ModelRequest> queue{
+        {ModelId::GPTNeoS, 0, 0, 0},
+        {ModelId::ResNet50, milliseconds(1), 0, milliseconds(60)},
+    };
+    auto out = sched.run(
+        queue, DeadlinePolicy{DeadlinePolicy::Overload::Degrade});
+    ASSERT_EQ(out.runs.size(), 2u);
+    EXPECT_TRUE(out.shed.empty());
+    EXPECT_EQ(out.degradedRuns, 1);
+    EXPECT_TRUE(out.runs[1].degraded);
+    EXPECT_FALSE(out.runs[0].degraded);
+    // The degraded dispatch re-planned the model at the smaller
+    // budget through FlashMem::replan.
+    EXPECT_GT(out.replans, 0);
+    EXPECT_EQ(out.goodput(), 1u);
+    EXPECT_EQ(out.sloViolations(), 1u);
+    EXPECT_DOUBLE_EQ(out.shedRate(), 0.0);
+}
+
+TEST(Deadline, FeasibleBoundedRequestsRunAndMeetTheirSlo)
+{
+    FlashMem fm(DeviceProfile::onePlus12());
+    EventScheduler sched(fm);
+    std::vector<ModelRequest> queue{
+        {ModelId::ResNet50, 0, 0, seconds(10)},
+        {ModelId::DepthAnythingS, milliseconds(1), 0, seconds(10)},
+    };
+    auto out = sched.run(queue, DeadlinePolicy{});
+    ASSERT_EQ(out.runs.size(), 2u);
+    EXPECT_TRUE(out.shed.empty());
+    EXPECT_EQ(out.goodput(), 2u);
+    EXPECT_DOUBLE_EQ(out.goodputRate(), 1.0);
+}
+
+TEST(Deadline, EdfRunsEarlierDeadlineFirst)
+{
+    // Both ready while the device is busy; the later-queued request
+    // has the earlier absolute deadline and must dispatch first.
+    FlashMem fm(DeviceProfile::onePlus12());
+    EventScheduler sched(fm);
+    std::vector<ModelRequest> queue{
+        {ModelId::GPTNeoS, 0, 0, 0},
+        {ModelId::ResNet50, milliseconds(1), 0, seconds(30)},
+        {ModelId::DepthAnythingS, milliseconds(2), 0, seconds(5)},
+    };
+    auto out = sched.run(queue, DeadlinePolicy{});
+    ASSERT_EQ(out.runs.size(), 3u);
+    EXPECT_EQ(out.runs[1].model, "depth_anything_s");
+    EXPECT_EQ(out.runs[2].model, "resnet50");
+}
+
 // ------------------------------------------------- on-device re-planning
 
 TEST(Replanning, ReplanShrinksInflightBudgetDeterministically)

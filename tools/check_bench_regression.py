@@ -13,7 +13,10 @@ snapshot:
     (OPTIMAL -> FEASIBLE -> greedy/unknown ordering), or
   - any Fig-6 scheduler policy's makespan or mean request latency
     (queueing delay included) worsens by more than 10%, or the
-    memory-aware policy stops re-planning.
+    memory-aware policy stops re-planning, or
+  - any serving policy's p95 request latency worsens by more than 10%,
+    its goodput drops by more than 2 points, or its max sustainable
+    QPS drops by more than 10%.
 
 Missing data fails loudly: absent aggregate_wall_speedup fields,
 instances/models/policies present on one side but not the other, and
@@ -31,6 +34,8 @@ STATUS_RANK = {"OPTIMAL": 0, "FEASIBLE": 1, "UNKNOWN": 2,
                "INFEASIBLE": 3}
 SPEEDUP_TOLERANCE = 0.90   # fail below 90% of the committed speedup
 LATENCY_TOLERANCE = 1.10   # fail above 110% of the committed time
+GOODPUT_TOLERANCE = 0.02   # fail on > 2-point absolute goodput drop
+QPS_TOLERANCE = 0.90       # fail below 90% of the committed max QPS
 
 
 def check_speedup(old, new, failures):
@@ -137,6 +142,49 @@ def main() -> int:
         check_keyed_rows("fig6 policy", "policy",
                          old["fig6_policies"], new["fig6_policies"],
                          failures, policy_check)
+
+    # Serving harness: per-policy tail latency, goodput, and the max
+    # sustainable QPS from the capacity sweep.
+    if "serving" not in old or "serving" not in new:
+        side = ("both snapshots"
+                if "serving" not in old and "serving" not in new else
+                "the committed snapshot"
+                if "serving" not in old else "the fresh run")
+        failures.append(f"serving section missing from {side}")
+    else:
+        def serving_check(name, old_row, new_row):
+            for field in ("p95_ms", "goodput", "max_sustainable_qps"):
+                if field not in old_row or field not in new_row:
+                    failures.append(
+                        f"serving policy {name}: {field} missing")
+                    return
+            if new_row["p95_ms"] > LATENCY_TOLERANCE * old_row["p95_ms"]:
+                failures.append(
+                    f"serving policy {name}: p95 worsened"
+                    f" {old_row['p95_ms']:.1f} ->"
+                    f" {new_row['p95_ms']:.1f} ms (> 10%)")
+            if new_row["goodput"] < old_row["goodput"] - GOODPUT_TOLERANCE:
+                failures.append(
+                    f"serving policy {name}: goodput dropped"
+                    f" {old_row['goodput']:.3f} ->"
+                    f" {new_row['goodput']:.3f} (> 2 points)")
+            if (new_row["max_sustainable_qps"] <
+                    QPS_TOLERANCE * old_row["max_sustainable_qps"]):
+                failures.append(
+                    f"serving policy {name}: max sustainable QPS"
+                    f" regressed {old_row['max_sustainable_qps']:.2f}"
+                    f" -> {new_row['max_sustainable_qps']:.2f}"
+                    " (> 10%)")
+
+        old_serving = old["serving"].get("policies", [])
+        new_serving = new["serving"].get("policies", [])
+        if not old_serving or not new_serving:
+            failures.append(
+                "serving section has no policies in "
+                + ("the committed snapshot" if not old_serving
+                   else "the fresh run"))
+        check_keyed_rows("serving policy", "policy", old_serving,
+                         new_serving, failures, serving_check)
 
     if failures:
         for f in failures:

@@ -1,19 +1,21 @@
 #!/usr/bin/env bash
 # Build Release and emit BENCH_table4.json (solver wall time,
 # decisions/s, plan-memo effect, merge-time re-balancing, planner
-# thread count, and the Fig-6 per-policy scheduler section) so
-# successive PRs accumulate a perf trajectory. Run from anywhere;
-# artifacts land in the repo root.
+# thread count, the Fig-6 per-policy scheduler section, and the
+# serving-harness section) so successive PRs accumulate a perf
+# trajectory. Run from anywhere; artifacts land in the repo root.
 #
 # Acts as a regression gate: the fresh run is compared against the
 # committed snapshot (tools/check_bench_regression.py) and the script
 # fails — leaving the committed snapshot in place — if the aggregate
 # solver speedup regresses by more than 10%, any instance objective
-# worsens, any Table-4 status degrades, or any Fig-6 policy's makespan
-# or mean request latency worsens by more than 10%. Missing
-# fields/sections fail loudly. Pass --no-gate to skip the comparison
-# (e.g. on a machine class different from the snapshot's, or when the
-# schema legitimately changed and the snapshot must be regenerated).
+# worsens, any Table-4 status degrades, any Fig-6 policy's makespan
+# or mean request latency worsens by more than 10%, or any serving
+# policy's p95 / goodput / max sustainable QPS regresses. Missing
+# fields/sections fail loudly, as do colliding top-level keys in the
+# section merge. Pass --no-gate to skip the comparison (e.g. on a
+# machine class different from the snapshot's, or when the schema
+# legitimately changed and the snapshot must be regenerated).
 #
 # Usage: tools/run_benchmarks.sh [--no-gate] [output.json]
 
@@ -30,26 +32,38 @@ fi
 out_json="${1:-${repo_root}/BENCH_table4.json}"
 fresh_json="$(mktemp /tmp/bench_table4.XXXXXX.json)"
 fig6_json="$(mktemp /tmp/bench_fig6.XXXXXX.json)"
-trap 'rm -f "${fresh_json}" "${fig6_json}"' EXIT
+serving_json="$(mktemp /tmp/bench_serving.XXXXXX.json)"
+trap 'rm -f "${fresh_json}" "${fig6_json}" "${serving_json}"' EXIT
 
 cmake -B "${build_dir}" -S "${repo_root}" \
       -DCMAKE_BUILD_TYPE=Release -DBUILD_TESTING=OFF >/dev/null
 cmake --build "${build_dir}" -j \
-      --target bench_table4_solver_runtime bench_fig6_multimodel
+      --target bench_table4_solver_runtime bench_fig6_multimodel \
+               bench_serving
 
 "${build_dir}/bench_table4_solver_runtime" "${fresh_json}"
 "${build_dir}/bench_fig6_multimodel" "${fig6_json}" >/dev/null
+"${build_dir}/bench_serving" "${serving_json}" >/dev/null
 
-# Merge the Fig-6 per-policy section into the Table-4 snapshot.
+# Merge the per-bench sections into the Table-4 snapshot. Top-level
+# keys must be disjoint: a silent overwrite would let one bench mask
+# another's section, so collisions fail the run.
 if ! command -v python3 >/dev/null; then
-    echo "warning: python3 not found; fig6_policies not merged" >&2
+    echo "warning: python3 not found; bench sections not merged" >&2
 else
-python3 - "${fresh_json}" "${fig6_json}" <<'EOF'
+python3 - "${fresh_json}" "${fig6_json}" "${serving_json}" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     snap = json.load(f)
-with open(sys.argv[2]) as f:
-    snap.update(json.load(f))
+for path in sys.argv[2:]:
+    with open(path) as f:
+        section = json.load(f)
+    for key, value in section.items():
+        if key in snap:
+            sys.exit(f"error: bench section merge would overwrite "
+                     f"top-level key '{key}' (from {path}); bench "
+                     f"outputs must use disjoint keys")
+        snap[key] = value
 with open(sys.argv[1], "w") as f:
     json.dump(snap, f, indent=2)
     f.write("\n")
@@ -66,5 +80,5 @@ if [[ ${gate} -eq 1 && -f "${out_json}" ]]; then
 fi
 
 mv "${fresh_json}" "${out_json}"
-trap 'rm -f "${fig6_json}"' EXIT
+trap 'rm -f "${fig6_json}" "${serving_json}"' EXIT
 echo "perf snapshot written to ${out_json}"
