@@ -19,6 +19,15 @@
  * isolated PlanMemos and fail unless every policy's p50/p95/p99, shed
  * and degraded counts, goodput, makespan, and max sustainable QPS are
  * bit-identical — the ctest-registered serving determinism check.
+ *
+ * The sharding study (`serving_sharding` JSON section) sweeps the
+ * DeviceCluster over 1/2/4/8 devices with cross-request init/exec
+ * overlap off and on: max sustainable QPS and p95 at a fixed 70%
+ * per-device utilization, plus the single-device overlap demo — a
+ * back-to-back LLM trace whose makespan shrinks when each request's
+ * streamed preload overlaps the previous request's compute.
+ * `--sharding-determinism` repeats the study at (1,1) vs (4,4)
+ * planner/pool threads and fails on any bit difference.
  */
 
 #include "bench/harness.hh"
@@ -164,6 +173,106 @@ runArm(const Arm &arm, ThreadPool &pool,
     return out;
 }
 
+// ----------------------------------------------------------- sharding
+
+const std::vector<int> kShardDeviceCounts = {1, 2, 4, 8};
+constexpr std::size_t kOverlapDemoRequests = 8;
+/** Requests per sharding sweep probe and per headline point. */
+constexpr std::size_t kShardingRequests = 200000;
+
+/** One operating point of the sharding study: the capacity sweep and
+ * a fixed-utilization headline run for tail latency / utilization. */
+struct ShardingFigures
+{
+    struct Point
+    {
+        int devices = 1;
+        bool overlap = false;
+        double maxQps = 0.0;
+        double headlineQps = 0.0;
+        serving::ServingOutcome headline;
+    };
+    std::vector<Point> points;
+    /** Back-to-back LLM trace, 1 device, overlap off vs on. */
+    serving::ServingOutcome demoSerial;
+    serving::ServingOutcome demoOverlap;
+};
+
+/** Mean of a per-device utilization field over the cluster. */
+double
+meanUtil(const serving::ServingOutcome &out, bool compute)
+{
+    if (out.devices.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const auto &d : out.devices)
+        total += compute ? d.computeUtilization : d.dmaUtilization;
+    return total / static_cast<double>(out.devices.size());
+}
+
+ShardingFigures
+runShardingStudy(const Arm &arm, ThreadPool &pool,
+                 std::size_t sweep_requests,
+                 std::size_t headline_requests)
+{
+    multidnn::FifoPolicy fifo;
+    ShardingFigures f;
+    auto sp = sweepParams(arm, sweep_requests);
+    auto sharded = serving::sweepDeviceCounts(
+        arm.mix, fifo, arm.services, sp, kShardDeviceCounts, &pool);
+
+    for (const auto &pt : sharded) {
+        ShardingFigures::Point p;
+        p.devices = pt.devices;
+        p.overlap = pt.overlap;
+        p.maxQps = pt.sweep.maxSustainableQps;
+        // Headline: 70% of the cluster's aggregate calibrated
+        // capacity, so per-device utilization is constant across the
+        // scaling curve and p95 isolates the sharding behaviour.
+        p.headlineQps = kHeadlineUtil * arm.capacityQps * pt.devices;
+        auto trace = serving::poissonTrace(
+            arm.mix, p.headlineQps, headline_requests, kTraceSeed);
+        serving::ServingSimParams simp;
+        simp.cluster.deviceCount = pt.devices;
+        simp.cluster.overlapInitWithExec = pt.overlap;
+        p.headline =
+            serving::simulateServing(trace, fifo, arm.services, simp);
+        f.points.push_back(std::move(p));
+    }
+
+    // Cross-request overlap demo: back-to-back LLM requests on one
+    // device. Serial, each request pays init + exec in sequence; with
+    // overlap the next request's streamed preload runs on the DMA
+    // queue while the current request computes.
+    std::vector<multidnn::ModelRequest> llm(
+        kOverlapDemoRequests, {ModelId::GPTNeoS, 0, 0, 0});
+    serving::ServingSimParams serial_p;
+    f.demoSerial =
+        serving::simulateServing(llm, fifo, arm.services, serial_p);
+    serving::ServingSimParams overlap_p;
+    overlap_p.cluster.overlapInitWithExec = true;
+    f.demoOverlap =
+        serving::simulateServing(llm, fifo, arm.services, overlap_p);
+    return f;
+}
+
+double
+shardingScalingEfficiency(const ShardingFigures &f, int devices)
+{
+    double base = 0.0, at = 0.0;
+    for (const auto &p : f.points) {
+        if (!p.overlap)
+            continue;
+        if (p.devices == 1)
+            base = p.maxQps;
+        if (p.devices == devices)
+            at = p.maxQps;
+    }
+    if (base <= 0.0)
+        return 0.0;
+    return at / (static_cast<double>(devices) * base);
+}
+
 /** Bit-exact equality of the determinism-relevant figures. */
 bool
 figuresIdentical(const PolicyFigures &a, const PolicyFigures &b)
@@ -177,6 +286,62 @@ figuresIdentical(const PolicyFigures &a, const PolicyFigures &b)
            sa.goodput() == sb.goodput() &&
            a.headline.makespan == b.headline.makespan &&
            a.sweep.maxSustainableQps == b.sweep.maxSustainableQps;
+}
+
+/** Bit-exact equality of two sharding studies. */
+bool
+shardingIdentical(const ShardingFigures &a, const ShardingFigures &b)
+{
+    if (a.points.size() != b.points.size())
+        return false;
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        const auto &pa = a.points[i];
+        const auto &pb = b.points[i];
+        const auto &sa = pa.headline.stats;
+        const auto &sb = pb.headline.stats;
+        if (pa.devices != pb.devices || pa.overlap != pb.overlap ||
+            pa.maxQps != pb.maxQps ||
+            pa.headline.makespan != pb.headline.makespan ||
+            sa.p50() != sb.p50() || sa.p95() != sb.p95() ||
+            sa.p99() != sb.p99() ||
+            sa.goodput() != sb.goodput())
+            return false;
+    }
+    return a.demoSerial.makespan == b.demoSerial.makespan &&
+           a.demoOverlap.makespan == b.demoOverlap.makespan;
+}
+
+int
+runShardingDeterminismCheck()
+{
+    auto run_study = [&](int threads) {
+        core::PlanMemo memo(1024);
+        auto arm = calibrateArm(memo, threads);
+        ThreadPool pool(threads);
+        return runShardingStudy(arm, pool, /*sweep_requests=*/50000,
+                                /*headline_requests=*/100000);
+    };
+    auto t1 = run_study(1);
+    auto t4 = run_study(4);
+    bool identical = shardingIdentical(t1, t4);
+    std::cout << "serving sharding determinism (planner+pool threads "
+                 "1 vs 4): "
+              << (identical ? "identical" : "DIVERGED") << "\n";
+    for (const auto &p : t1.points) {
+        std::cout << "  " << p.devices << " device(s), overlap "
+                  << (p.overlap ? "on " : "off") << ": max QPS "
+                  << formatDouble(p.maxQps, 2) << ", p95 "
+                  << formatMs(p.headline.stats.p95()) << "\n";
+    }
+    std::cout << "  overlap demo makespan: serial "
+              << formatMs(t1.demoSerial.makespan) << " -> overlapped "
+              << formatMs(t1.demoOverlap.makespan) << "\n";
+    // The demo must actually exercise the overlap path.
+    bool exercised =
+        t1.demoOverlap.makespan < t1.demoSerial.makespan;
+    std::cout << "cross-request overlap exercised: "
+              << (exercised ? "yes" : "NO") << "\n";
+    return identical && exercised ? 0 : 1;
 }
 
 int
@@ -225,6 +390,9 @@ main(int argc, char **argv)
 
     if (argc > 1 && std::strcmp(argv[1], "--determinism") == 0)
         return runDeterminismCheck();
+    if (argc > 1 &&
+        std::strcmp(argv[1], "--sharding-determinism") == 0)
+        return runShardingDeterminismCheck();
 
     printHeading(std::cout,
                  "Serving harness: 1M-request capacity study");
@@ -297,7 +465,7 @@ main(int argc, char **argv)
         ok &= f.sweep.maxSustainableQps > 0.0;
     }
     t.print(std::cout);
-    json << "    ]\n  }\n}\n";
+    json << "    ]\n  },\n"; // serving_sharding section follows
 
     std::cout << "\nRequest-latency quantiles (shared axis):\n";
     metrics::renderQuantileChart(std::cout, qrows, 60);
@@ -320,9 +488,106 @@ main(int argc, char **argv)
                  "quantiles, deadline admission meets bounds): "
               << (ok ? "PASS" : "FAIL") << "\n";
 
+    // ------------------------------------------- sharding scaling study
+    printHeading(std::cout,
+                 "Device sharding: scaling curve + overlap demo");
+    auto sharding = runShardingStudy(arm, pool, kShardingRequests,
+                                     kShardingRequests);
+    Table st({"Devices", "Overlap", "Max QPS", "Headline QPS", "p95",
+              "Goodput", "Compute util", "DMA util"});
+    for (const auto &p : sharding.points) {
+        const auto &s = p.headline.stats;
+        st.addRow({std::to_string(p.devices),
+                   p.overlap ? "on" : "off",
+                   formatDouble(p.maxQps, 2),
+                   formatDouble(p.headlineQps, 1),
+                   formatMs(s.p95()),
+                   formatDouble(100.0 * s.goodputRate(), 2) + "%",
+                   formatDouble(100.0 * meanUtil(p.headline, true),
+                                1) +
+                       "%",
+                   formatDouble(100.0 * meanUtil(p.headline, false),
+                                1) +
+                       "%"});
+    }
+    st.print(std::cout);
+
+    double eff4 = shardingScalingEfficiency(sharding, 4);
+    double demo_speedup =
+        static_cast<double>(sharding.demoSerial.makespan) /
+        static_cast<double>(
+            std::max<SimTime>(sharding.demoOverlap.makespan, 1));
+    std::cout << "scaling efficiency at 4 devices (overlap on): "
+              << formatDouble(100.0 * eff4, 1) << "%\n"
+              << "back-to-back LLM overlap demo ("
+              << kOverlapDemoRequests << "x GPTN-S, 1 device): "
+              << formatMs(sharding.demoSerial.makespan) << " -> "
+              << formatMs(sharding.demoOverlap.makespan) << " ("
+              << formatDouble(demo_speedup, 3) << "x)\n";
+
+    // Acceptance shapes: 4 devices with overlap sustain at least
+    // 2.5x the single-device max; overlap alone improves the
+    // back-to-back LLM makespan; scaling is monotone in devices.
+    auto max_qps_at = [&](int devices, bool overlap) {
+        for (const auto &p : sharding.points) {
+            if (p.devices == devices && p.overlap == overlap)
+                return p.maxQps;
+        }
+        return 0.0;
+    };
+    bool shard_ok = true;
+    shard_ok &= max_qps_at(4, true) >= 2.5 * max_qps_at(1, true);
+    shard_ok &= max_qps_at(4, true) >= 2.5 * max_qps_at(1, false);
+    shard_ok &= sharding.demoOverlap.makespan <
+                sharding.demoSerial.makespan;
+    for (bool overlap : {false, true}) {
+        double prev = 0.0;
+        for (int n : kShardDeviceCounts) {
+            double q = max_qps_at(n, overlap);
+            shard_ok &= q >= prev;
+            prev = q;
+        }
+    }
+    for (const auto &p : sharding.points)
+        shard_ok &= !p.headline.unstable;
+    std::cout << "Sharding shape check (>= 2.5x at 4 devices, "
+                 "overlap improves makespan, monotone scaling): "
+              << (shard_ok ? "PASS" : "FAIL") << "\n";
+    ok &= shard_ok;
+
+    std::ostringstream sjson;
+    sjson << "  \"serving_sharding\": {\n    \"policy\": \"fifo\",\n"
+          << "    \"request_count\": " << kShardingRequests
+          << ",\n    \"scaling_efficiency_4dev\": "
+          << formatDouble(eff4, 4) << ",\n    \"scaling\": [\n";
+    for (std::size_t i = 0; i < sharding.points.size(); ++i) {
+        const auto &p = sharding.points[i];
+        const auto &s = p.headline.stats;
+        sjson << "      {\"devices\": " << p.devices
+              << ", \"overlap\": " << (p.overlap ? "true" : "false")
+              << ", \"max_sustainable_qps\": " << p.maxQps
+              << ", \"headline_qps\": "
+              << formatDouble(p.headlineQps, 3)
+              << ", \"p95_ms\": " << s.p95Ms()
+              << ", \"goodput\": " << s.goodputRate()
+              << ", \"mean_compute_util\": "
+              << formatDouble(meanUtil(p.headline, true), 4)
+              << ", \"mean_dma_util\": "
+              << formatDouble(meanUtil(p.headline, false), 4) << "}"
+              << (i + 1 < sharding.points.size() ? "," : "") << "\n";
+    }
+    sjson << "    ],\n    \"overlap_demo\": {\"model\": \"GPTN-S\", "
+          << "\"requests\": " << kOverlapDemoRequests
+          << ", \"serial_makespan_ms\": "
+          << toMilliseconds(sharding.demoSerial.makespan)
+          << ", \"overlap_makespan_ms\": "
+          << toMilliseconds(sharding.demoOverlap.makespan)
+          << ", \"makespan_speedup\": "
+          << formatDouble(demo_speedup, 4) << "}\n  }\n";
+
     if (argc > 1) {
         std::ofstream out(argv[1]);
-        out << json.str();
+        out << json.str() << sjson.str() << "}\n";
         if (out.good()) {
             std::cout << "wrote " << argv[1] << "\n";
         } else {

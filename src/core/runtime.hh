@@ -55,6 +55,9 @@ struct RunResult
     /** Latency bound (SLO) the request carried; 0 = unbounded. Set by
      * deadline-aware schedulers, 0 for standalone runs. */
     SimTime latencyBound = 0;
+    /** Cluster device the run was placed on (multi-DNN schedulers;
+     * 0 for standalone runs). */
+    int device = 0;
     /** True when admission dispatched this run at a degraded (reduced)
      * capacity budget instead of shedding it. */
     bool degraded = false;

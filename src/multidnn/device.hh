@@ -1,0 +1,211 @@
+/**
+ * @file
+ * First-class devices for the execution layer: DeviceCluster models N
+ * simulated devices behind one admission queue, each with **two
+ * independent resources** — the compute queue and the preload-DMA
+ * queue — so a request's streamed init can overlap the previous
+ * request's execution on the same device (the paper's memory-hierarchy
+ * overlap applied one level up, across requests).
+ *
+ * The cluster owns the one timing rule both execution paths share:
+ * the event-driven EventScheduler (real streamed executions) and the
+ * fast request-level serving simulator (calibrated service tables)
+ * place runs through DeviceCluster::planTimes / commit, which is what
+ * keeps the two paths bit-identical (see serving/sweep.hh).
+ *
+ * Placement is pluggable: least-loaded (default), round-robin, and
+ * capacity-affinity (route a model to the device that already holds
+ * its plan at the target budget, avoiding an on-device plan switch).
+ */
+
+#ifndef FLASHMEM_MULTIDNN_DEVICE_HH
+#define FLASHMEM_MULTIDNN_DEVICE_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "models/model_zoo.hh"
+
+namespace flashmem::multidnn {
+
+/** Placement strategies for picking a device per dispatched request. */
+enum class PlacementKind
+{
+    LeastLoaded,      ///< earliest compute-free device (id tie-break)
+    RoundRobin,       ///< cycle device ids over accepting devices
+    CapacityAffinity, ///< prefer the device already holding the plan
+};
+
+/** Human name of a placement strategy. */
+const char *placementName(PlacementKind kind);
+
+/** All built-in placement kinds, in presentation order. */
+const std::vector<PlacementKind> &allPlacementKinds();
+
+/** Cluster shape of the execution layer. */
+struct ClusterConfig
+{
+    /** Simulated devices behind the shared admission queue. */
+    int deviceCount = 1;
+    /**
+     * Cross-request init/exec overlap: dispatch the next request's
+     * streamed preload on a device's DMA queue while the previous
+     * request still computes (pipeline depth 2 — at most one request
+     * computing and one preloading per device). Off reproduces the
+     * fully serialized single-resource device.
+     */
+    bool overlapInitWithExec = false;
+    PlacementKind placement = PlacementKind::LeastLoaded;
+};
+
+/**
+ * Mutable state of one simulated device: the two resource horizons,
+ * the in-flight pipeline depth, which model plans are resident (and at
+ * which budget), and busy-time accounting for utilization reports.
+ */
+struct DeviceState
+{
+    int id = 0;
+    /** Compute queue busy until (last placed run's end). */
+    SimTime computeBusyUntil = 0;
+    /** Preload-DMA queue busy until (last placed run's initDone). */
+    SimTime dmaBusyUntil = 0;
+    /** Requests dispatched but not yet completed (pipeline depth). */
+    int inFlight = 0;
+
+    /** @name Accounting (ScheduleOutcome/ServingOutcome reports). @{ */
+    std::size_t dispatched = 0;
+    SimTime computeBusyTime = 0; ///< sum of placed exec phases
+    SimTime dmaBusyTime = 0;     ///< sum of placed init (preload) phases
+    /** Times this device had to switch a model's resident plan budget
+     * (a re-plan / plan reload on device; capacity-affinity placement
+     * exists to avoid these). */
+    int planSwitches = 0;
+    /** @} */
+
+    /** Plan budget this device currently holds per model. */
+    std::map<models::ModelId, Bytes> residentPlanBudget;
+};
+
+/** Per-device utilization summary exposed on outcomes. */
+struct DeviceUtilization
+{
+    int device = 0;
+    std::size_t dispatched = 0;
+    int planSwitches = 0;
+    SimTime computeBusyTime = 0;
+    SimTime dmaBusyTime = 0;
+    /** Busy fractions over the outcome's makespan (0 when empty). */
+    double computeUtilization = 0.0;
+    double dmaUtilization = 0.0;
+    /** Peak live memory on this device (real path only; 0 for the
+     * fast simulator unless calibrated peaks are tracked). */
+    Bytes peakMemory = 0;
+    double energyJoules = 0.0;
+};
+
+/** Placement of one run on a device's two resources. */
+struct PlacedTimes
+{
+    SimTime start = 0;    ///< preload DMA begins (dispatch)
+    SimTime initDone = 0; ///< preload set resident; DMA queue frees
+    SimTime end = 0;      ///< compute retires; device slot frees
+};
+
+/** Strategy choosing a device among those able to accept a request. */
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Pick one of @p candidates (accepting devices, ascending id;
+     * non-empty). @p planBudget is the budget the dispatched plan
+     * will run under (capacity-affinity keys on it).
+     */
+    virtual const DeviceState *place(
+        const std::vector<const DeviceState *> &candidates,
+        models::ModelId model, Bytes planBudget) = 0;
+};
+
+/** Construct the built-in placement policy of @p kind. */
+std::unique_ptr<PlacementPolicy> makePlacement(PlacementKind kind);
+
+/**
+ * N simulated devices behind one admission queue. The cluster is the
+ * single owner of the dispatch timing rule (planTimes) and of the
+ * per-device resource/accounting state (commit/complete); schedulers
+ * ask it which devices can accept work and where a request lands.
+ */
+class DeviceCluster
+{
+  public:
+    explicit DeviceCluster(ClusterConfig cfg);
+
+    int deviceCount() const
+    {
+        return static_cast<int>(devices_.size());
+    }
+    bool overlap() const { return cfg_.overlapInitWithExec; }
+    const ClusterConfig &config() const { return cfg_; }
+    const std::vector<DeviceState> &devices() const { return devices_; }
+
+    /**
+     * True when @p device can take a new request at @p now: idle when
+     * overlap is off; DMA queue free and fewer than two requests in
+     * flight (one computing + one preloading) when overlap is on.
+     */
+    bool canAccept(int device, SimTime now) const;
+
+    /** Any device able to accept a request at @p now. */
+    bool anyAccepting(SimTime now) const;
+
+    /** Choose an accepting device for @p model via the placement
+     * policy. At least one device must be accepting. */
+    int pickDevice(SimTime now, models::ModelId model, Bytes planBudget);
+
+    /**
+     * The shared two-resource timing rule. Overlap off: the run starts
+     * when the device is fully idle and holds both resources to its
+     * end (`start = now`, `end = start + init + exec`). Overlap on:
+     * the preload phase starts as soon as the DMA queue frees
+     * (`start = max(now, dmaBusyUntil)`), and the compute phase queues
+     * behind the previous run (`computeStart = max(start + init,
+     * computeBusyUntil)`, `end = computeStart + exec`).
+     */
+    PlacedTimes planTimes(int device, SimTime now, SimTime initTime,
+                          SimTime execTime) const;
+
+    /**
+     * Record a placed run: advances the device's resource horizons
+     * (`dmaBusyUntil = initDone`, `computeBusyUntil = end`), pipeline
+     * depth, busy-time accounting, and plan residency (counting a plan
+     * switch when @p planBudget differs from the budget the device
+     * held @p model at).
+     */
+    void commit(int device, models::ModelId model, Bytes planBudget,
+                const PlacedTimes &t);
+
+    /** A run on @p device completed; frees its pipeline slot. */
+    void complete(int device);
+
+    /** Utilization rows over @p makespan (fractions 0 when 0). */
+    std::vector<DeviceUtilization> utilization(SimTime makespan) const;
+
+  private:
+    ClusterConfig cfg_;
+    std::unique_ptr<PlacementPolicy> placement_;
+    std::vector<DeviceState> devices_;
+    /** Scratch candidate buffer reused across pickDevice calls (the
+     * loop is single-threaded per cluster), keeping the fast
+     * simulator's per-request dispatch allocation-free. */
+    std::vector<const DeviceState *> candidates_;
+};
+
+} // namespace flashmem::multidnn
+
+#endif // FLASHMEM_MULTIDNN_DEVICE_HH

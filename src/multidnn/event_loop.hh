@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The cluster event loop shared by the two execution paths.
+ *
+ * Before the DeviceCluster refactor, multidnn::EventScheduler and the
+ * fast serving simulator (serving/sweep.cc) each carried a private
+ * copy of the same simulation-clock loop, and their bit-exact
+ * equivalence rested on keeping the copies in sync by hand. The loop
+ * now lives here once, templated over three backend hooks, so the
+ * real scheduler (full streamed executions) and the fast simulator
+ * (calibrated service-table lookups) literally run the same control
+ * flow: same event ordering, same admission pass, same policy
+ * selection, same device placement — the cross-validation invariant
+ * holds by construction.
+ *
+ * Event ordering at equal timestamps: arrivals first (a dispatch
+ * point always sees every request that has arrived by then), then
+ * DMA-free events (cross-request overlap: a device's preload queue
+ * freeing is a dispatch opportunity), then completions; ties break on
+ * the event's sequence id. The clock is integer nanoseconds, so the
+ * loop is exactly deterministic.
+ */
+
+#ifndef FLASHMEM_MULTIDNN_EVENT_LOOP_HH
+#define FLASHMEM_MULTIDNN_EVENT_LOOP_HH
+
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "multidnn/device.hh"
+#include "multidnn/policies.hh"
+#include "multidnn/workload.hh"
+
+namespace flashmem::multidnn {
+
+/** What a dispatch hook reports back to the loop: where the run
+ * landed and the times the cluster placed it at. */
+struct DispatchedRun
+{
+    int device = 0;
+    PlacedTimes times;
+};
+
+/**
+ * Drain @p queue against @p cluster under @p policy.
+ *
+ * @param makeReady  (std::size_t seq) -> ReadyRequest: build the
+ *     scheduler view of request @p seq (estimate lookup differs
+ *     between the real and fast paths).
+ * @param dispatch   (const ReadyRequest &picked,
+ *     const std::vector<ReadyRequest> &ready, SimTime now)
+ *     -> DispatchedRun: place and execute the picked request. The
+ *     hook chooses the device (DeviceCluster::pickDevice), computes
+ *     or measures the run's times, and must call
+ *     DeviceCluster::commit; the loop schedules the DMA-free and
+ *     completion events from the returned times. @p ready is the
+ *     remaining ready set (co-resident working-set accounting).
+ * @param onShed     (const ReadyRequest &r, SimTime now): request
+ *     dropped by SLO admission.
+ * @param ready_limit abort threshold on the ready-set size (0 = no
+ *     limit). @return false when the backlog exceeded it — the
+ *     offered load is unstable and the drain aborted early.
+ */
+template <typename MakeReadyFn, typename DispatchFn, typename ShedFn>
+bool
+drainClusterQueue(const std::vector<ModelRequest> &queue,
+                  const SchedulingPolicy &policy,
+                  DeviceCluster &cluster, MakeReadyFn &&makeReady,
+                  DispatchFn &&dispatch, ShedFn &&onShed,
+                  std::size_t ready_limit = 0)
+{
+    /** One event of the simulation clock. */
+    struct Event
+    {
+        SimTime time = 0;
+        /** Arrivals order before DMA-frees before completions at
+         * equal times. */
+        enum Kind
+        {
+            Arrival = 0,
+            DmaFree = 1,
+            Completion = 2
+        } kind = Arrival;
+        /** Queue index (arrival) / device id (DMA-free, completion);
+         * the deterministic tie-break. */
+        std::size_t seq = 0;
+
+        bool
+        operator>(const Event &o) const
+        {
+            if (time != o.time)
+                return time > o.time;
+            if (kind != o.kind)
+                return kind > o.kind;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        events;
+    for (std::size_t i = 0; i < queue.size(); ++i)
+        events.push({queue[i].arrival, Event::Arrival, i});
+
+    std::vector<ReadyRequest> ready;
+    SimTime now = 0;
+    while (!events.empty()) {
+        auto ev = events.top();
+        events.pop();
+        now = std::max(now, ev.time);
+        if (ev.kind == Event::Arrival) {
+            ready.push_back(makeReady(ev.seq));
+            if (ready_limit > 0 && ready.size() > ready_limit)
+                return false; // backlog diverged: unstable load
+        } else if (ev.kind == Event::Completion) {
+            cluster.complete(static_cast<int>(ev.seq));
+        }
+        // DMA-free events carry no state change; they exist to wake
+        // the dispatch pass when a preload queue frees mid-compute.
+        if (ready.empty())
+            continue;
+        // Drain simultaneous arrivals before dispatching, so the
+        // policy compares every request that is ready at this instant.
+        if (!events.empty() && events.top().time <= now &&
+            events.top().kind == Event::Arrival)
+            continue;
+
+        while (!ready.empty() && cluster.anyAccepting(now)) {
+            // SLO admission pass (deadline-aware policies): requests
+            // that can no longer meet their bound are shed here —
+            // before selection — or stickily marked for degraded
+            // dispatch. The ready set is scanned in arrival order, so
+            // verdicts are deterministic.
+            for (std::size_t i = 0;
+                 policy.needsAdmission() && i < ready.size();) {
+                auto verdict = policy.admit(now, ready[i]);
+                if (verdict == Admission::Shed) {
+                    onShed(ready[i], now);
+                    ready.erase(ready.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+                    continue;
+                }
+                if (verdict == Admission::Degrade)
+                    ready[i].degraded = true;
+                ++i;
+            }
+            if (ready.empty())
+                break;
+
+            auto pick = policy.select(now, ready);
+            FM_ASSERT(pick < ready.size(),
+                      "policy picked out of range");
+            ReadyRequest picked = ready[pick];
+            ready.erase(ready.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+
+            auto run = dispatch(picked, ready, now);
+            if (cluster.overlap() &&
+                run.times.initDone < run.times.end)
+                events.push({run.times.initDone, Event::DmaFree,
+                             static_cast<std::size_t>(run.device)});
+            events.push({run.times.end, Event::Completion,
+                         static_cast<std::size_t>(run.device)});
+        }
+    }
+    return true;
+}
+
+} // namespace flashmem::multidnn
+
+#endif // FLASHMEM_MULTIDNN_EVENT_LOOP_HH

@@ -1,33 +1,50 @@
 #include "multidnn/scheduler.hh"
 
 #include <algorithm>
-#include <queue>
 
 #include "common/logging.hh"
+#include "multidnn/event_loop.hh"
 
 namespace flashmem::multidnn {
 
 namespace {
 
-/** One event of the simulation clock. */
-struct Event
+/** Sum of the devices' total-memory step functions (cluster trace). */
+TimeSeries
+mergedTotalTrace(const std::vector<gpusim::GpuSimulator> &sims)
 {
-    SimTime time = 0;
-    /** Arrivals order before completions at equal times, so a freed
-     * device always sees every request that has arrived by then. */
-    enum Kind { Arrival = 0, Completion = 1 } kind = Arrival;
-    std::size_t seq = 0; ///< queue index (arrival) / tie-break
-
-    bool
-    operator>(const Event &o) const
+    struct Cursor
     {
-        if (time != o.time)
-            return time > o.time;
-        if (kind != o.kind)
-            return kind > o.kind;
-        return seq > o.seq;
+        const std::vector<TimeSeries::Point> *points;
+        std::size_t next = 0;
+        double value = 0.0;
+    };
+    std::vector<Cursor> cursors;
+    for (const auto &sim : sims)
+        cursors.push_back({&sim.memory().totalTrace().points()});
+
+    TimeSeries merged;
+    for (;;) {
+        SimTime t = kTimeNever;
+        for (const auto &c : cursors) {
+            if (c.next < c.points->size())
+                t = std::min(t, (*c.points)[c.next].time);
+        }
+        if (t == kTimeNever)
+            break;
+        double total = 0.0;
+        for (auto &c : cursors) {
+            while (c.next < c.points->size() &&
+                   (*c.points)[c.next].time <= t) {
+                c.value = (*c.points)[c.next].value;
+                ++c.next;
+            }
+            total += c.value;
+        }
+        merged.record(t, total);
     }
-};
+    return merged;
+}
 
 } // namespace
 
@@ -100,22 +117,34 @@ EventScheduler::EventScheduler(const core::FlashMem &fm,
 }
 
 void
-EventScheduler::summarize(const gpusim::GpuSimulator &sim,
+EventScheduler::summarize(const std::vector<gpusim::GpuSimulator> &sims,
+                          const DeviceCluster &cluster,
                           ScheduleOutcome &out)
 {
     for (const auto &r : out.runs)
         out.makespan = std::max(out.makespan, r.end);
-    const auto &mem = sim.memory();
-    out.trace = mem.totalTrace();
-    if (!out.runs.empty()) {
-        out.peakMemory = mem.peakOver(0, out.makespan);
-        out.avgMemoryBytes = mem.averageBytes(0, out.makespan);
-        out.energyJoules = sim.energyJoules(out.makespan);
+    out.trace = sims.size() == 1
+                    ? sims.front().memory().totalTrace()
+                    : mergedTotalTrace(sims);
+    out.devices = cluster.utilization(out.makespan);
+    if (out.runs.empty())
+        return;
+    for (std::size_t i = 0; i < sims.size(); ++i) {
+        const auto &mem = sims[i].memory();
+        Bytes peak = mem.peakOver(0, out.makespan);
+        double energy = sims[i].energyJoules(out.makespan);
+        out.devices[i].peakMemory = peak;
+        out.devices[i].energyJoules = energy;
+        // Devices are distinct hardware: the cluster peak is the
+        // worst per-device peak, energy and average live bytes sum.
+        out.peakMemory = std::max(out.peakMemory, peak);
+        out.avgMemoryBytes += mem.averageBytes(0, out.makespan);
+        out.energyJoules += energy;
     }
 }
 
 ScheduleOutcome
-EventScheduler::drain(gpusim::GpuSimulator &sim,
+EventScheduler::drain(DeviceCluster &cluster,
                       const std::vector<ModelRequest> &queue,
                       const SchedulingPolicy &policy,
                       const std::map<models::ModelId, SimTime> &estimates,
@@ -125,86 +154,46 @@ EventScheduler::drain(gpusim::GpuSimulator &sim,
     out.policy = policy.name();
     out.runs.reserve(queue.size());
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>>
-        events;
-    for (std::size_t i = 0; i < queue.size(); ++i)
-        events.push({queue[i].arrival, Event::Arrival, i});
-
-    std::vector<ReadyRequest> ready;
-    bool busy = false;
-    SimTime now = 0;
-    while (!events.empty()) {
-        auto ev = events.top();
-        events.pop();
-        now = std::max(now, ev.time);
-        if (ev.kind == Event::Arrival) {
-            const auto &req = queue[ev.seq];
+    drainClusterQueue(
+        queue, policy, cluster,
+        [&](std::size_t seq) {
+            const auto &req = queue[seq];
             auto est = estimates.find(req.model);
-            ready.push_back({ev.seq, req.model, req.arrival,
-                             req.priority,
-                             est != estimates.end() ? est->second : 0,
-                             req.latencyBound});
-        } else {
-            busy = false;
-        }
-        if (busy || ready.empty())
-            continue;
-        // Drain simultaneous arrivals before picking, so the policy
-        // compares every request that is ready at this instant.
-        if (!events.empty() && events.top().time <= now &&
-            events.top().kind == Event::Arrival)
-            continue;
-
-        // SLO admission pass (deadline-aware policies): requests that
-        // can no longer meet their bound are shed here — before
-        // selection — or stickily marked for degraded dispatch. The
-        // ready set is scanned in arrival order, so verdicts are
-        // deterministic.
-        for (std::size_t i = 0;
-             policy.needsAdmission() && i < ready.size();) {
-            auto verdict = policy.admit(now, ready[i]);
-            if (verdict == Admission::Shed) {
-                out.shed.push_back({ready[i].queueIndex,
-                                    ready[i].model, ready[i].arrival,
-                                    ready[i].latencyBound, now});
-                ready.erase(ready.begin() +
-                            static_cast<std::ptrdiff_t>(i));
-                continue;
+            return ReadyRequest{seq, req.model, req.arrival,
+                                req.priority,
+                                est != estimates.end() ? est->second
+                                                       : 0,
+                                req.latencyBound};
+        },
+        [&](const ReadyRequest &picked,
+            const std::vector<ReadyRequest> &ready, SimTime now) {
+            // Co-resident working sets: the dispatched model plus
+            // every distinct model still waiting in the ready set.
+            std::vector<models::ModelId> distinct{picked.model};
+            for (const auto &r : ready) {
+                if (std::find(distinct.begin(), distinct.end(),
+                              r.model) == distinct.end())
+                    distinct.push_back(r.model);
             }
-            if (verdict == Admission::Degrade)
-                ready[i].degraded = true;
-            ++i;
-        }
-        if (ready.empty())
-            continue;
 
-        auto pick = policy.select(now, ready);
-        FM_ASSERT(pick < ready.size(), "policy picked out of range");
-        ReadyRequest picked = ready[pick];
-        ready.erase(ready.begin() +
-                    static_cast<std::ptrdiff_t>(pick));
-
-        // Co-resident working sets: the dispatched model plus every
-        // distinct model still waiting in the ready set.
-        std::vector<models::ModelId> distinct{picked.model};
-        for (const auto &r : ready) {
-            if (std::find(distinct.begin(), distinct.end(), r.model) ==
-                distinct.end())
-                distinct.push_back(r.model);
-        }
-
-        auto r = dispatch(sim, picked, now,
-                          static_cast<int>(distinct.size()));
-        r.arrival = picked.arrival;
-        r.latencyBound = picked.latencyBound;
-        r.degraded = picked.degraded;
-        if (picked.degraded)
-            ++out.degradedRuns;
-        events.push({r.end, Event::Completion, picked.queueIndex});
-        out.runs.push_back(std::move(r));
-        busy = true;
-    }
-    summarize(sim, out);
+            auto d = dispatch(picked, now,
+                              static_cast<int>(distinct.size()));
+            d.run.arrival = picked.arrival;
+            d.run.latencyBound = picked.latencyBound;
+            d.run.degraded = picked.degraded;
+            d.run.device = d.device;
+            if (picked.degraded)
+                ++out.degradedRuns;
+            DispatchedRun placed{d.device,
+                                 {d.run.start, d.run.initDone,
+                                  d.run.end}};
+            out.runs.push_back(std::move(d.run));
+            return placed;
+        },
+        [&](const ReadyRequest &r, SimTime now) {
+            out.shed.push_back({r.queueIndex, r.model, r.arrival,
+                                r.latencyBound, now});
+        });
     return out;
 }
 
@@ -271,19 +260,27 @@ EventScheduler::compiledFor(models::ModelId model, Bytes budget,
     return it->second;
 }
 
+const core::RunResult &
+EventScheduler::profileFor(models::ModelId model, Bytes budget,
+                           ScheduleOutcome &out)
+{
+    auto key = std::make_pair(model, budget);
+    auto it = profiles_.find(key);
+    if (it != profiles_.end())
+        return it->second;
+    const auto &compiled = compiledFor(model, budget, out);
+    gpusim::GpuSimulator scratch(fm_.device());
+    it = profiles_.emplace(key, fm_.execute(scratch, compiled, 0))
+             .first;
+    return it->second;
+}
+
 SimTime
 EventScheduler::estimateFor(models::ModelId model, ScheduleOutcome &out)
 {
-    auto it = estimates_.find(model);
-    if (it != estimates_.end())
-        return it->second;
     // Warm estimate: one run on a scratch simulator at the base budget.
-    const auto &compiled =
-        compiledFor(model, fm_.options().opg.mPeak, out);
-    gpusim::GpuSimulator scratch(fm_.device());
-    auto r = fm_.execute(scratch, compiled, 0);
-    it = estimates_.emplace(model, r.integratedLatency()).first;
-    return it->second;
+    return profileFor(model, fm_.options().opg.mPeak, out)
+        .integratedLatency();
 }
 
 ScheduleOutcome
@@ -304,11 +301,16 @@ EventScheduler::run(const std::vector<ModelRequest> &queue,
 
     const bool memory_aware =
         policy.memoryAware() && cfg_.replanOnBudgetShift;
-    gpusim::GpuSimulator sim(fm_.device());
+    DeviceCluster cluster(cfg_.cluster);
+    std::vector<gpusim::GpuSimulator> sims;
+    sims.reserve(static_cast<std::size_t>(cluster.deviceCount()));
+    for (int i = 0; i < cluster.deviceCount(); ++i)
+        sims.emplace_back(fm_.device());
+
     auto out = drain(
-        sim, queue, policy, estimates,
-        [&](gpusim::GpuSimulator &s, const ReadyRequest &picked,
-            SimTime now, int co_resident) {
+        cluster, queue, policy, estimates,
+        [&](const ReadyRequest &picked, SimTime now,
+            int co_resident) -> DeviceRun {
             Bytes budget = fm_.options().opg.mPeak;
             if (memory_aware)
                 budget = admissionBudget(co_resident);
@@ -320,10 +322,38 @@ EventScheduler::run(const std::vector<ModelRequest> &queue,
                     clampQuantize(policy.degradedBudget(
                         fm_.options().opg.mPeak)));
             }
+            int dev = cluster.pickDevice(now, picked.model, budget);
+            auto &sim = sims[static_cast<std::size_t>(dev)];
             const auto &cm = compiledFor(picked.model, budget,
                                          replan_acc);
-            return fm_.execute(s, cm, now);
+            core::RunResult r;
+            if (!cluster.overlap()) {
+                // Serialized device: the streamed execution runs on a
+                // fully idle simulator, so its own times are final.
+                r = fm_.execute(sim, cm, now);
+            } else {
+                // Cross-request overlap: the run's timeline follows
+                // the cluster's two-resource model, with the measured
+                // solo init/exec split of this (model, budget). The
+                // execution on the device simulator keeps the memory
+                // and energy traces real (its kernels queue behind
+                // the previous run's on the shared compute timeline).
+                const auto &prof =
+                    profileFor(picked.model, budget, replan_acc);
+                auto t = cluster.planTimes(dev, now,
+                                           prof.initLatency(),
+                                           prof.execLatency());
+                fm_.execute(sim, cm, t.start);
+                r = prof;
+                r.start = t.start;
+                r.initDone = t.initDone;
+                r.end = t.end;
+            }
+            cluster.commit(dev, picked.model, budget,
+                           {r.start, r.initDone, r.end});
+            return {dev, std::move(r)};
         });
+    summarize(sims, cluster, out);
     out.replans += replan_acc.replans;
     out.replanMemoHits += replan_acc.replanMemoHits;
     out.replanSeconds += replan_acc.replanSeconds;
@@ -335,8 +365,12 @@ EventScheduler::runPreload(baselines::FrameworkId framework,
                            const gpusim::DeviceProfile &dev,
                            const std::vector<ModelRequest> &queue,
                            const SchedulingPolicy &policy,
-                           Precision precision)
+                           Precision precision, ClusterConfig cluster_cfg)
 {
+    // Baselines re-initialize per request on the compute path; there
+    // is no streamed DMA-queue init to overlap with execution.
+    cluster_cfg.overlapInitWithExec = false;
+
     baselines::PreloadFramework fw(framework, dev);
     std::map<models::ModelId, graph::Graph> graphs;
     std::map<models::ModelId, SimTime> estimates;
@@ -356,12 +390,24 @@ EventScheduler::runPreload(baselines::FrameworkId framework,
         }
     }
 
-    gpusim::GpuSimulator sim(dev);
-    return drain(sim, queue, policy, estimates,
-                 [&](gpusim::GpuSimulator &s, const ReadyRequest &picked,
-                     SimTime now, int) {
-                     return fw.run(s, graphs.at(picked.model), now);
-                 });
+    DeviceCluster cluster(cluster_cfg);
+    std::vector<gpusim::GpuSimulator> sims;
+    sims.reserve(static_cast<std::size_t>(cluster.deviceCount()));
+    for (int i = 0; i < cluster.deviceCount(); ++i)
+        sims.emplace_back(dev);
+
+    auto out = drain(
+        cluster, queue, policy, estimates,
+        [&](const ReadyRequest &picked, SimTime now, int) -> DeviceRun {
+            int d = cluster.pickDevice(now, picked.model, 0);
+            auto r = fw.run(sims[static_cast<std::size_t>(d)],
+                            graphs.at(picked.model), now);
+            cluster.commit(d, picked.model, 0,
+                           {r.start, r.initDone, r.end});
+            return {d, std::move(r)};
+        });
+    summarize(sims, cluster, out);
+    return out;
 }
 
 } // namespace flashmem::multidnn

@@ -3,12 +3,17 @@
  * Event-driven multi-DNN scheduling (paper Figure 1c / Section 5.3).
  *
  * A simulation-clock event loop drains a queue of inference requests
- * against one shared device: arrival events feed a ready set, a
- * completion event frees the device, and on every free device a
- * pluggable SchedulingPolicy picks the next request. Under FlashMem
- * the swap-in is the streamed overlap plan; under preloading baselines
- * it is a full cold-start init — the repeated-load overhead the paper
- * targets.
+ * against a DeviceCluster (multidnn/device.hh): arrival events feed a
+ * ready set, completion events free device pipeline slots, and on
+ * every dispatch opportunity a pluggable SchedulingPolicy picks the
+ * next request and a pluggable placement policy picks its device.
+ * Under FlashMem the swap-in is the streamed overlap plan; under
+ * preloading baselines it is a full cold-start init — the repeated-
+ * load overhead the paper targets. With
+ * ClusterConfig::overlapInitWithExec the scheduler additionally
+ * overlaps a request's streamed init (preload DMA) with the previous
+ * request's compute on the same device — the paper's memory-hierarchy
+ * overlap applied across requests.
  *
  * Memory-aware policies additionally enable **on-device re-planning**:
  * the scheduler caps the sum of co-resident working-set budgets at a
@@ -28,6 +33,7 @@
 
 #include "baselines/preload_framework.hh"
 #include "core/flashmem.hh"
+#include "multidnn/device.hh"
 #include "multidnn/policies.hh"
 #include "multidnn/workload.hh"
 
@@ -52,6 +58,10 @@ struct SchedulerConfig
     Bytes budgetQuantum = mib(64);
     /** Master switch for on-device re-planning on budget shifts. */
     bool replanOnBudgetShift = true;
+    /** Cluster shape: device count, placement policy, cross-request
+     * init/exec overlap (see multidnn/device.hh). The default is the
+     * single serialized device of the original scheduler. */
+    ClusterConfig cluster;
 };
 
 /**
@@ -106,6 +116,12 @@ struct ScheduleOutcome
     int degradedRuns = 0;
     /** @} */
 
+    /** Per-device accounting: dispatch counts, plan switches, and
+     * compute-/DMA-busy fractions over the makespan, so benches can
+     * report overlap efficiency directly instead of inferring it from
+     * the makespan. One row per cluster device. */
+    std::vector<DeviceUtilization> devices;
+
     /** Mean request latency (end - arrival): includes queueing delay. */
     SimTime meanLatency() const;
     /** Mean time requests spent queued before dispatch. */
@@ -141,6 +157,10 @@ class EventScheduler
     /**
      * Drain @p queue under a preloading baseline framework. Cold-start
      * init per request; no re-planning (the baselines have no plans).
+     * @p cluster supports multi-device sharding, but cross-request
+     * overlap is forced off: the baselines serialize initialization
+     * with execution — there is no streamed DMA-queue init to overlap,
+     * which is exactly the repeated-load overhead the paper targets.
      */
     static ScheduleOutcome runPreload(baselines::FrameworkId framework,
                                       const gpusim::DeviceProfile &dev,
@@ -148,31 +168,38 @@ class EventScheduler
                                           &queue,
                                       const SchedulingPolicy &policy,
                                       Precision precision =
-                                          Precision::FP16);
+                                          Precision::FP16,
+                                      ClusterConfig cluster = {});
 
     const SchedulerConfig &config() const { return cfg_; }
 
   private:
-    /** Runs one picked request; returns its RunResult. */
-    using DispatchFn = std::function<core::RunResult(
-        gpusim::GpuSimulator &, const ReadyRequest &, SimTime now,
-        int co_resident_models)>;
+    /** Places and runs one picked request on a cluster device. */
+    struct DeviceRun
+    {
+        int device = 0;
+        core::RunResult run;
+    };
+    using DispatchFn = std::function<DeviceRun(
+        const ReadyRequest &, SimTime now, int co_resident_models)>;
 
     /**
      * The simulation-clock event loop shared by the FlashMem and
-     * preload paths: arrivals enter the ready set, completions free
-     * the device, @p policy picks on every free device, @p dispatch
-     * executes the pick.
+     * preload paths (multidnn/event_loop.hh): arrivals enter the ready
+     * set, completions free device pipeline slots, @p policy picks on
+     * every dispatch opportunity, @p dispatch places and executes the
+     * pick (and commits it to @p cluster).
      */
     static ScheduleOutcome drain(
-        gpusim::GpuSimulator &sim,
+        DeviceCluster &cluster,
         const std::vector<ModelRequest> &queue,
         const SchedulingPolicy &policy,
         const std::map<models::ModelId, SimTime> &estimates,
         const DispatchFn &dispatch);
 
-    /** Finalize makespan/memory/energy/trace for @p out. */
-    static void summarize(const gpusim::GpuSimulator &sim,
+    /** Finalize makespan/memory/energy/trace/per-device rows. */
+    static void summarize(const std::vector<gpusim::GpuSimulator> &sims,
+                          const DeviceCluster &cluster,
                           ScheduleOutcome &out);
 
     /** Compiled artifact for (model, budget), compiling/re-planning on
@@ -180,6 +207,15 @@ class EventScheduler
     const core::CompiledModel &compiledFor(models::ModelId model,
                                            Bytes budget,
                                            ScheduleOutcome &out);
+
+    /** Measured solo run of (model, budget) on a scratch simulator —
+     * the init/exec split the cross-request overlap model places runs
+     * with, and the source of warm latency estimates. Cached;
+     * executions are start-time invariant so one measurement covers
+     * every dispatch. */
+    const core::RunResult &profileFor(models::ModelId model,
+                                      Bytes budget,
+                                      ScheduleOutcome &out);
 
     /** Warm single-run latency estimate (scratch simulator). */
     SimTime estimateFor(models::ModelId model, ScheduleOutcome &out);
@@ -197,7 +233,8 @@ class EventScheduler
     std::map<models::ModelId, graph::Graph> graphs_;
     std::map<std::pair<models::ModelId, Bytes>, core::CompiledModel>
         compiled_;
-    std::map<models::ModelId, SimTime> estimates_;
+    std::map<std::pair<models::ModelId, Bytes>, core::RunResult>
+        profiles_;
 };
 
 } // namespace flashmem::multidnn

@@ -46,9 +46,23 @@ calibrateServices(const core::FlashMem &fm,
         profile.degradedService = degraded.integratedLatency();
         profile.degradedPeakBytes = degraded.peakMemory;
         profile.degradedPlanBudget = degraded_cm.planBudget;
+        // Init/exec split for the cross-request overlap model: the
+        // same initLatency() the EventScheduler's measured profiles
+        // report, so both paths place overlapped runs identically.
+        profile.initService = full.initLatency();
+        profile.degradedInitService = degraded.initLatency();
         table.emplace(id, profile);
     }
     return table;
+}
+
+ClusterServiceTable
+replicateServices(const ServiceTable &table, int device_count)
+{
+    FM_ASSERT(device_count >= 1,
+              "replicateServices needs >= 1 device");
+    return ClusterServiceTable(static_cast<std::size_t>(device_count),
+                               table);
 }
 
 std::map<models::ModelId, SimTime>

@@ -47,10 +47,38 @@ struct ModelServiceProfile
     Bytes degradedPeakBytes = 0;
     Bytes planBudget = 0;
     Bytes degradedPlanBudget = 0;
+    /** Init phase (preload set resident, initDone - start) of the
+     * full-budget run — the portion of @c service the cross-request
+     * overlap model runs on the device's DMA queue. Appended after
+     * the original fields so positional initializers keep working
+     * (0 = no overlappable init). */
+    SimTime initService = 0;
+    SimTime degradedInitService = 0;
+
+    /** Init/exec split consumed by DeviceCluster::planTimes. @{ */
+    SimTime execService() const { return service - initService; }
+    SimTime degradedExecService() const
+    {
+        return degradedService - degradedInitService;
+    }
+    /** @} */
 };
 
 /** Per-model calibration the fast serving simulator consumes. */
 using ServiceTable = std::map<models::ModelId, ModelServiceProfile>;
+
+/**
+ * Per-device service tables for a sharded cluster: table @c i
+ * calibrates device @c i. Devices are homogeneous today, so
+ * replicateServices() fills the vector with copies of one calibrated
+ * table; the per-device structure is what heterogeneous device speeds
+ * (ROADMAP follow-on) will plug into.
+ */
+using ClusterServiceTable = std::vector<ServiceTable>;
+
+/** Replicate @p table for @p device_count homogeneous devices. */
+ClusterServiceTable replicateServices(const ServiceTable &table,
+                                      int device_count);
 
 /**
  * Measure @p model_set on @p fm: compile + execute once per model at

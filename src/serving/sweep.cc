@@ -2,36 +2,100 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 #include "common/logging.hh"
+#include "multidnn/event_loop.hh"
 
 namespace flashmem::serving {
 
 namespace {
 
-using multidnn::Admission;
+using multidnn::DeviceCluster;
+using multidnn::DispatchedRun;
 using multidnn::ModelRequest;
 using multidnn::ReadyRequest;
 
-/** One event of the simulation clock (mirrors the EventScheduler's
- * ordering: arrivals before completions at equal times). */
-struct Event
+/** The fast drain over the shared cluster event loop: dispatch is a
+ * service-table lookup placed through DeviceCluster::planTimes — the
+ * same timing rule the real EventScheduler commits runs with. */
+ServingOutcome
+simulateImpl(const std::vector<ModelRequest> &trace,
+             const multidnn::SchedulingPolicy &policy,
+             const ClusterServiceTable &tables,
+             const ServingSimParams &params)
 {
-    SimTime time = 0;
-    enum Kind { Arrival = 0, Completion = 1 } kind = Arrival;
-    std::size_t seq = 0;
+    ServingOutcome out;
+    out.policy = policy.name();
+    out.submitted = trace.size();
 
-    bool
-    operator>(const Event &o) const
-    {
-        if (time != o.time)
-            return time > o.time;
-        if (kind != o.kind)
-            return kind > o.kind;
-        return seq > o.seq;
-    }
-};
+    DeviceCluster cluster(params.cluster);
+    FM_ASSERT(tables.size() == 1 ||
+                  static_cast<int>(tables.size()) >=
+                      cluster.deviceCount(),
+              "cluster service tables must cover every device");
+    const ServiceTable &primary = tables.front();
+    auto table_for = [&](int device) -> const ServiceTable & {
+        return tables.size() == 1
+                   ? primary
+                   : tables[static_cast<std::size_t>(device)];
+    };
+    std::vector<Bytes> device_peak(
+        static_cast<std::size_t>(cluster.deviceCount()), 0);
+
+    bool stable = multidnn::drainClusterQueue(
+        trace, policy, cluster,
+        [&](std::size_t seq) {
+            const auto &req = trace[seq];
+            auto it = primary.find(req.model);
+            FM_ASSERT(it != primary.end(),
+                      "simulateServing: model missing from the "
+                      "service table");
+            return ReadyRequest{seq, req.model, req.arrival,
+                                req.priority, it->second.service,
+                                req.latencyBound};
+        },
+        [&](const ReadyRequest &picked,
+            const std::vector<ReadyRequest> &, SimTime now) {
+            // Placement keys (capacity affinity) on the primary
+            // table's plan budgets; dispatch times come from the
+            // placed device's own table.
+            const auto &pp = primary.at(picked.model);
+            Bytes budget = picked.degraded ? pp.degradedPlanBudget
+                                           : pp.planBudget;
+            int dev = cluster.pickDevice(now, picked.model, budget);
+            const auto &profile = table_for(dev).at(picked.model);
+            SimTime init = picked.degraded
+                               ? profile.degradedInitService
+                               : profile.initService;
+            SimTime exec = picked.degraded
+                               ? profile.degradedExecService()
+                               : profile.execService();
+            auto t = cluster.planTimes(dev, now, init, exec);
+            cluster.commit(dev, picked.model, budget, t);
+
+            SimTime latency = t.end - picked.arrival;
+            bool met = picked.latencyBound <= 0 ||
+                       latency <= picked.latencyBound;
+            out.stats.recordCompletion(latency,
+                                       t.start - picked.arrival, met,
+                                       picked.degraded);
+            out.makespan = std::max(out.makespan, t.end);
+            Bytes peak = picked.degraded ? profile.degradedPeakBytes
+                                         : profile.peakBytes;
+            out.peakMemory = std::max(out.peakMemory, peak);
+            auto &dpeak = device_peak[static_cast<std::size_t>(dev)];
+            dpeak = std::max(dpeak, peak);
+            return DispatchedRun{dev, t};
+        },
+        [&](const ReadyRequest &, SimTime) { out.stats.recordShed(); },
+        params.readyLimit);
+
+    out.unstable = !stable;
+    out.devices = cluster.utilization(out.makespan);
+    for (std::size_t i = 0; i < out.devices.size(); ++i)
+        out.devices[i].peakMemory = device_peak[i];
+    return out;
+}
 
 } // namespace
 
@@ -41,84 +105,18 @@ simulateServing(const std::vector<ModelRequest> &trace,
                 const ServiceTable &services,
                 const ServingSimParams &params)
 {
-    ServingOutcome out;
-    out.policy = policy.name();
-    out.submitted = trace.size();
+    return simulateImpl(trace, policy, ClusterServiceTable{services},
+                        params);
+}
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>>
-        events;
-    for (std::size_t i = 0; i < trace.size(); ++i)
-        events.push({trace[i].arrival, Event::Arrival, i});
-
-    std::vector<ReadyRequest> ready;
-    bool busy = false;
-    SimTime now = 0;
-    while (!events.empty()) {
-        auto ev = events.top();
-        events.pop();
-        now = std::max(now, ev.time);
-        if (ev.kind == Event::Arrival) {
-            const auto &req = trace[ev.seq];
-            auto it = services.find(req.model);
-            FM_ASSERT(it != services.end(),
-                      "simulateServing: model missing from the "
-                      "service table");
-            ready.push_back({ev.seq, req.model, req.arrival,
-                             req.priority, it->second.service,
-                             req.latencyBound});
-            if (ready.size() > params.readyLimit) {
-                out.unstable = true;
-                break;
-            }
-        } else {
-            busy = false;
-        }
-        if (busy || ready.empty())
-            continue;
-        if (!events.empty() && events.top().time <= now &&
-            events.top().kind == Event::Arrival)
-            continue;
-
-        // SLO admission, in arrival order — same pass as the real
-        // EventScheduler::drain.
-        for (std::size_t i = 0;
-             policy.needsAdmission() && i < ready.size();) {
-            auto verdict = policy.admit(now, ready[i]);
-            if (verdict == Admission::Shed) {
-                out.stats.recordShed();
-                ready.erase(ready.begin() +
-                            static_cast<std::ptrdiff_t>(i));
-                continue;
-            }
-            if (verdict == Admission::Degrade)
-                ready[i].degraded = true;
-            ++i;
-        }
-        if (ready.empty())
-            continue;
-
-        auto pick = policy.select(now, ready);
-        FM_ASSERT(pick < ready.size(), "policy picked out of range");
-        ReadyRequest picked = ready[pick];
-        ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pick));
-
-        const auto &profile = services.at(picked.model);
-        SimTime service = picked.degraded ? profile.degradedService
-                                          : profile.service;
-        Bytes peak = picked.degraded ? profile.degradedPeakBytes
-                                     : profile.peakBytes;
-        SimTime end = now + service;
-        SimTime latency = end - picked.arrival;
-        bool met = picked.latencyBound <= 0 ||
-                   latency <= picked.latencyBound;
-        out.stats.recordCompletion(latency, now - picked.arrival, met,
-                                   picked.degraded);
-        out.makespan = std::max(out.makespan, end);
-        out.peakMemory = std::max(out.peakMemory, peak);
-        events.push({end, Event::Completion, picked.queueIndex});
-        busy = true;
-    }
-    return out;
+ServingOutcome
+simulateServing(const std::vector<ModelRequest> &trace,
+                const multidnn::SchedulingPolicy &policy,
+                const ClusterServiceTable &tables,
+                const ServingSimParams &params)
+{
+    FM_ASSERT(!tables.empty(), "empty cluster service table");
+    return simulateImpl(trace, policy, tables, params);
 }
 
 namespace {
@@ -218,6 +216,35 @@ findMaxSustainableQps(const ModelMix &mix,
     }
     result.maxSustainableQps = lo;
     return result;
+}
+
+std::vector<ShardingPoint>
+sweepDeviceCounts(const ModelMix &mix,
+                  const multidnn::SchedulingPolicy &policy,
+                  const ServiceTable &services,
+                  const SweepParams &base,
+                  const std::vector<int> &device_counts,
+                  ThreadPool *pool)
+{
+    std::vector<ShardingPoint> out;
+    for (int n : device_counts) {
+        FM_ASSERT(n >= 1, "sweepDeviceCounts: bad device count");
+        for (bool overlap : {false, true}) {
+            SweepParams params = base;
+            params.sim.cluster.deviceCount = n;
+            params.sim.cluster.overlapInitWithExec = overlap;
+            // More devices sustain proportionally more load; scale
+            // the ladder cap so the knee stays inside the bracket.
+            params.hiQps = base.hiQps * n;
+            ShardingPoint pt;
+            pt.devices = n;
+            pt.overlap = overlap;
+            pt.sweep = findMaxSustainableQps(mix, policy, services,
+                                             params, pool);
+            out.push_back(std::move(pt));
+        }
+    }
+    return out;
 }
 
 } // namespace flashmem::serving

@@ -3,19 +3,23 @@
  * Request-level serving simulator + streaming-percentile capacity
  * sweeps.
  *
- * simulateServing() mirrors the EventScheduler's event loop — same
- * arrival/completion ordering, same SchedulingPolicy selection and SLO
- * admission (shed / degrade) — but dispatch costs one table lookup
- * into calibrated per-model service times (serving/slo.hh) instead of
- * a full streamed execution. That makes million-request runs cheap
+ * simulateServing() runs the EventScheduler's own event loop
+ * (multidnn/event_loop.hh — literally the same template, not a copy)
+ * over a DeviceCluster, but dispatch costs one table lookup into
+ * calibrated per-model service times (serving/slo.hh) instead of a
+ * full streamed execution. That makes million-request runs cheap
  * (O(1) arithmetic per request) while staying grounded in real
- * planner/runtime numbers, and bit-deterministic for a given trace.
+ * planner/runtime numbers, and bit-identical to the real scheduler
+ * for a given trace — including multi-device sharding and
+ * cross-request init/exec overlap (ServingSimParams::cluster).
  *
  * findMaxSustainableQps() locates the capacity knee per policy: the
  * largest offered QPS whose probe run still meets the SloSpec (p99
  * under the bound, goodput above the floor). Probes are pure
- * functions of (mix, qps, seed), so the bracketing ladder can run
- * concurrently on a ThreadPool with no effect on the result.
+ * functions of (mix, qps, seed, cluster), so the bracketing ladder
+ * can run concurrently on a ThreadPool with no effect on the result.
+ * sweepDeviceCounts() repeats the sweep across cluster sizes with
+ * overlap off/on — the serving_sharding scaling curve.
  */
 
 #ifndef FLASHMEM_SERVING_SWEEP_HH
@@ -43,6 +47,9 @@ struct ServingSimParams
      * sweep probes from going quadratic.
      */
     std::size_t readyLimit = 4096;
+    /** Cluster shape: device count, placement, cross-request overlap
+     * (mirrors multidnn::SchedulerConfig::cluster). */
+    multidnn::ClusterConfig cluster;
 };
 
 /** Outcome of one simulated serving run. */
@@ -59,13 +66,27 @@ struct ServingOutcome
     /** Requests submitted (trace size), including unprocessed ones on
      * an unstable abort. */
     std::size_t submitted = 0;
+    /** Per-device accounting (dispatch counts, plan switches,
+     * compute-/DMA-busy fractions, calibrated peak) — mirrors
+     * ScheduleOutcome::devices. */
+    std::vector<multidnn::DeviceUtilization> devices;
 };
 
-/** Drain @p trace against calibrated @p services under @p policy. */
+/** Drain @p trace against calibrated @p services under @p policy
+ * (homogeneous devices: every cluster device uses @p services). */
 ServingOutcome simulateServing(
     const std::vector<multidnn::ModelRequest> &trace,
     const multidnn::SchedulingPolicy &policy,
     const ServiceTable &services, const ServingSimParams &params = {});
+
+/** Sharded variant with per-device service tables: device @c i
+ * dispatches against @p tables[i] (table 0 also supplies the
+ * placement-independent estimates admission and SJF key on). */
+ServingOutcome simulateServing(
+    const std::vector<multidnn::ModelRequest> &trace,
+    const multidnn::SchedulingPolicy &policy,
+    const ClusterServiceTable &tables,
+    const ServingSimParams &params = {});
 
 /** One evaluated operating point of a capacity sweep. */
 struct ProbePoint
@@ -102,8 +123,9 @@ struct SweepResult
 
 /**
  * Binary-search the max sustainable QPS of @p policy over @p mix.
- * @p pool, when given, evaluates the bracketing ladder concurrently;
- * the result is identical with or without it.
+ * The cluster shape rides on @c params.sim.cluster. @p pool, when
+ * given, evaluates the bracketing ladder concurrently; the result is
+ * identical with or without it.
  */
 SweepResult findMaxSustainableQps(const ModelMix &mix,
                                   const multidnn::SchedulingPolicy
@@ -111,6 +133,26 @@ SweepResult findMaxSustainableQps(const ModelMix &mix,
                                   const ServiceTable &services,
                                   const SweepParams &params,
                                   ThreadPool *pool = nullptr);
+
+/** One operating point of the sharding scaling curve. */
+struct ShardingPoint
+{
+    int devices = 1;
+    bool overlap = false;
+    SweepResult sweep;
+};
+
+/**
+ * Repeat the capacity sweep of @p policy across @p device_counts,
+ * with cross-request overlap off and on per count (placement from
+ * @p base.sim.cluster). The QPS ladder cap scales linearly with the
+ * device count; every probe stays a pure function of
+ * (mix, qps, seed, cluster), so results are thread-count independent.
+ */
+std::vector<ShardingPoint> sweepDeviceCounts(
+    const ModelMix &mix, const multidnn::SchedulingPolicy &policy,
+    const ServiceTable &services, const SweepParams &base,
+    const std::vector<int> &device_counts, ThreadPool *pool = nullptr);
 
 } // namespace flashmem::serving
 

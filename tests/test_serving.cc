@@ -368,6 +368,94 @@ TEST(ServingSim, EdfOrdersByDeadline)
     EXPECT_EQ(out.stats.p99(), milliseconds(59));
 }
 
+TEST(ServingSim, TwoDeviceTimelineIsExact)
+{
+    // Two ResNet requests 1 ms apart on two devices: no queueing at
+    // all — the second dispatches on device 1 at its arrival.
+    std::vector<ModelRequest> trace{
+        {ModelId::ResNet50, 0, 0, 0},
+        {ModelId::ResNet50, milliseconds(1), 0, 0},
+    };
+    ServingSimParams params;
+    params.cluster.deviceCount = 2;
+    auto out = simulateServing(trace, FifoPolicy{}, handTable(),
+                               params);
+    EXPECT_EQ(out.stats.completed(), 2u);
+    EXPECT_EQ(out.makespan, milliseconds(11));
+    // Latencies are both the bare 10 ms service.
+    EXPECT_EQ(out.stats.p50(), milliseconds(10));
+    EXPECT_EQ(out.stats.p99(), milliseconds(10));
+    ASSERT_EQ(out.devices.size(), 2u);
+    EXPECT_EQ(out.devices[0].dispatched, 1u);
+    EXPECT_EQ(out.devices[1].dispatched, 1u);
+    EXPECT_EQ(out.devices[0].peakMemory, mib(200));
+}
+
+/** Hand table with a nonzero init phase: ResNet 10 ms service of
+ * which 4 ms is preload DMA; ViT 40 ms of which 10 ms is preload. */
+ServiceTable
+overlapTable()
+{
+    auto table = handTable();
+    table[ModelId::ResNet50].initService = milliseconds(4);
+    table[ModelId::ResNet50].degradedInitService = milliseconds(4);
+    table[ModelId::ViT].initService = milliseconds(10);
+    table[ModelId::ViT].degradedInitService = milliseconds(10);
+    return table;
+}
+
+TEST(ServingSim, OverlapTimelineIsExact)
+{
+    // Three back-to-back ResNets (10 ms service, 4 ms init) on one
+    // device with cross-request overlap:
+    //   r0: preload [0,4), compute [4,10)
+    //   r1: preload [4,8) (DMA queue frees), compute [10,16)
+    //   r2: dispatched at r0's completion (pipeline depth 2),
+    //       preload [10,14), compute [16,22).
+    std::vector<ModelRequest> trace{
+        {ModelId::ResNet50, 0, 0, 0},
+        {ModelId::ResNet50, 0, 0, 0},
+        {ModelId::ResNet50, 0, 0, 0},
+    };
+    auto serial = simulateServing(trace, FifoPolicy{},
+                                  overlapTable());
+    EXPECT_EQ(serial.makespan, milliseconds(30));
+
+    ServingSimParams params;
+    params.cluster.overlapInitWithExec = true;
+    auto out = simulateServing(trace, FifoPolicy{}, overlapTable(),
+                               params);
+    EXPECT_EQ(out.stats.completed(), 3u);
+    EXPECT_EQ(out.makespan, milliseconds(22));
+    // Latencies 10 / 16 / 22 ms (arrivals at 0).
+    EXPECT_EQ(out.stats.p50(), milliseconds(16));
+    EXPECT_EQ(out.stats.p99(), milliseconds(22));
+    // The DMA queue carried all three 4 ms preloads.
+    ASSERT_EQ(out.devices.size(), 1u);
+    EXPECT_EQ(out.devices[0].dmaBusyTime, milliseconds(12));
+    EXPECT_EQ(out.devices[0].computeBusyTime, milliseconds(18));
+}
+
+TEST(ServingSim, PerDeviceTablesDriveDispatchTimes)
+{
+    // Heterogeneous per-device calibration: device 1's ResNet runs
+    // twice as slow. Two simultaneous arrivals land on devices 0 and
+    // 1; the second request's latency follows device 1's table.
+    ClusterServiceTable tables = replicateServices(handTable(), 2);
+    tables[1][ModelId::ResNet50].service = milliseconds(20);
+    std::vector<ModelRequest> trace{
+        {ModelId::ResNet50, 0, 0, 0},
+        {ModelId::ResNet50, 0, 0, 0},
+    };
+    ServingSimParams params;
+    params.cluster.deviceCount = 2;
+    auto out = simulateServing(trace, FifoPolicy{}, tables, params);
+    EXPECT_EQ(out.stats.completed(), 2u);
+    EXPECT_EQ(out.stats.p50(), milliseconds(10)); // device 0
+    EXPECT_EQ(out.stats.p99(), milliseconds(20)); // device 1
+    EXPECT_EQ(out.makespan, milliseconds(20));
+}
+
 TEST(ServingSim, OverloadAbortsAsUnstable)
 {
     // 10x capacity with a tiny ready limit: the backlog explodes and
@@ -540,6 +628,180 @@ TEST(Calibration, FastSimulatorCrossValidatesAgainstEventScheduler)
     EXPECT_EQ(real.makespan, fast.makespan);
     ASSERT_FALSE(real.runs.empty());
     ASSERT_GT(fast.stats.shedCount(), 0u); // contention exercised
+}
+
+TEST(Calibration, FastSimulatorCrossValidatesAtScale)
+{
+    // The tens-of-requests cross-validation above could hide rare
+    // divergence; drive thousands of requests through both paths at
+    // 2x overload and hold them to *exact* agreement — counts,
+    // makespan, goodput, and the full streaming-percentile state
+    // (the P² estimators are pure functions of the observation
+    // order, so matching p50/p95/p99 bit for bit means the two
+    // paths produced identical per-request latencies in identical
+    // order).
+    core::FlashMem fm(gpusim::DeviceProfile::onePlus12());
+    ModelMix mix;
+    mix.entries = {{ModelId::ResNet50, 2.0, milliseconds(150), 0},
+                   {ModelId::DepthAnythingS, 1.0, milliseconds(400),
+                    0}};
+    auto services = calibrateServices(fm, mix.distinctModels());
+
+    auto trace = poissonTrace(mix, 30.0, 2500, /*seed=*/43);
+    multidnn::DeadlinePolicy policy;
+    ServingSimParams params;
+    params.readyLimit = 0; // the real path never aborts
+    auto fast = simulateServing(trace, policy, services, params);
+
+    multidnn::EventScheduler sched(fm);
+    auto real = sched.run(trace, policy);
+    auto real_stats = ServingStats::fromOutcome(real);
+
+    ASSERT_GT(real.runs.size(), 1000u);
+    ASSERT_GT(real.shed.size(), 100u); // overload exercised
+    EXPECT_EQ(real.runs.size(), fast.stats.completed());
+    EXPECT_EQ(real.shed.size(), fast.stats.shedCount());
+    EXPECT_EQ(real.goodput(), fast.stats.goodput());
+    EXPECT_EQ(real.makespan, fast.makespan);
+    EXPECT_EQ(real_stats.p50(), fast.stats.p50());
+    EXPECT_EQ(real_stats.p95(), fast.stats.p95());
+    EXPECT_EQ(real_stats.p99(), fast.stats.p99());
+    EXPECT_DOUBLE_EQ(real_stats.meanLatencyMs(),
+                     fast.stats.meanLatencyMs());
+}
+
+TEST(Calibration, ShardedFastSimCrossValidatesAgainstEventScheduler)
+{
+    // The N-device loop must mirror exactly too: same trace, same
+    // policy, two devices, overload. Placement, admission, and
+    // per-request timelines all agree because both paths run the
+    // shared cluster event loop over the same calibrated times.
+    core::FlashMem fm(gpusim::DeviceProfile::onePlus12());
+    ModelMix mix;
+    mix.entries = {{ModelId::ResNet50, 2.0, milliseconds(150), 0},
+                   {ModelId::DepthAnythingS, 1.0, milliseconds(400),
+                    0}};
+    auto services = calibrateServices(fm, mix.distinctModels());
+
+    auto trace = poissonTrace(mix, 60.0, 600, /*seed=*/47);
+    multidnn::DeadlinePolicy policy;
+    ServingSimParams params;
+    params.readyLimit = 0;
+    params.cluster.deviceCount = 2;
+    auto fast = simulateServing(trace, policy, services, params);
+
+    multidnn::SchedulerConfig cfg;
+    cfg.cluster.deviceCount = 2;
+    multidnn::EventScheduler sched(fm, cfg);
+    auto real = sched.run(trace, policy);
+    auto real_stats = ServingStats::fromOutcome(real);
+
+    ASSERT_GT(fast.stats.shedCount(), 0u);
+    EXPECT_EQ(real.runs.size(), fast.stats.completed());
+    EXPECT_EQ(real.shed.size(), fast.stats.shedCount());
+    EXPECT_EQ(real.makespan, fast.makespan);
+    EXPECT_EQ(real_stats.p50(), fast.stats.p50());
+    EXPECT_EQ(real_stats.p95(), fast.stats.p95());
+    EXPECT_EQ(real_stats.p99(), fast.stats.p99());
+    // Both devices did work, and the paths agree per device.
+    ASSERT_EQ(real.devices.size(), 2u);
+    ASSERT_EQ(fast.devices.size(), 2u);
+    for (int d = 0; d < 2; ++d) {
+        EXPECT_GT(real.devices[d].dispatched, 0u);
+        EXPECT_EQ(real.devices[d].dispatched,
+                  fast.devices[d].dispatched);
+        EXPECT_EQ(real.devices[d].computeBusyTime,
+                  fast.devices[d].computeBusyTime);
+        EXPECT_EQ(real.devices[d].dmaBusyTime,
+                  fast.devices[d].dmaBusyTime);
+    }
+}
+
+TEST(Calibration, OverlapCrossValidatesAgainstEventScheduler)
+{
+    // Cross-request overlap: the real scheduler places runs with its
+    // measured solo profiles, the fast path with the calibrated
+    // table — both through DeviceCluster::planTimes. Solo executions
+    // are deterministic, so the two must agree exactly.
+    core::FlashMem fm(gpusim::DeviceProfile::onePlus12());
+    ModelMix mix;
+    mix.entries = {{ModelId::GPTNeoS, 1.0, 0, 0},
+                   {ModelId::ResNet50, 1.0, 0, 0}};
+    auto services = calibrateServices(fm, mix.distinctModels());
+    ASSERT_GT(services.at(ModelId::GPTNeoS).initService, 0);
+
+    auto trace = poissonTrace(mix, 12.0, 40, /*seed=*/53);
+    multidnn::FifoPolicy policy;
+    ServingSimParams params;
+    params.readyLimit = 0;
+    params.cluster.overlapInitWithExec = true;
+    auto fast = simulateServing(trace, policy, services, params);
+
+    multidnn::SchedulerConfig cfg;
+    cfg.cluster.overlapInitWithExec = true;
+    multidnn::EventScheduler sched(fm, cfg);
+    auto real = sched.run(trace, policy);
+    auto real_stats = ServingStats::fromOutcome(real);
+
+    EXPECT_EQ(real.runs.size(), fast.stats.completed());
+    EXPECT_EQ(real.makespan, fast.makespan);
+    EXPECT_EQ(real_stats.p50(), fast.stats.p50());
+    EXPECT_EQ(real_stats.p99(), fast.stats.p99());
+    // Overlap actually engaged: some run's preload started before
+    // its predecessor's completion.
+    bool overlapped = false;
+    for (std::size_t i = 1; i < real.runs.size(); ++i)
+        overlapped |= real.runs[i].start < real.runs[i - 1].end;
+    EXPECT_TRUE(overlapped);
+}
+
+TEST(Sweep, DeviceCountsScaleThroughput)
+{
+    ModelMix mix;
+    mix.entries = {{ModelId::ResNet50, 1.0, milliseconds(100), 0}};
+    SweepParams sp;
+    sp.loQps = 2.0;
+    sp.hiQps = 256.0;
+    sp.requestsPerProbe = 20000;
+    sp.seed = 5;
+    sp.slo.p99Bound = milliseconds(100);
+    auto points = sweepDeviceCounts(mix, FifoPolicy{}, overlapTable(),
+                                    sp, {1, 2, 4});
+    ASSERT_EQ(points.size(), 6u); // 3 counts x overlap off/on
+
+    auto qps_at = [&](int devices, bool overlap) {
+        for (const auto &p : points) {
+            if (p.devices == devices && p.overlap == overlap)
+                return p.sweep.maxSustainableQps;
+        }
+        return -1.0;
+    };
+    // Monotone in devices, and sharding beats proportional scaling
+    // of the knee (pooling smooths the tail).
+    for (bool overlap : {false, true}) {
+        EXPECT_GT(qps_at(2, overlap), 1.5 * qps_at(1, overlap));
+        EXPECT_GT(qps_at(4, overlap), 1.5 * qps_at(2, overlap));
+    }
+    // A nonzero init phase makes overlap strictly help.
+    EXPECT_GT(qps_at(1, true), qps_at(1, false));
+}
+
+TEST(Sweep, ZeroInitMakesOverlapANoOp)
+{
+    // With no preload phase (initService == 0) the overlap model
+    // degenerates to the serialized device: identical figures, off
+    // or on.
+    ModelMix mix;
+    mix.entries = {{ModelId::ResNet50, 1.0, milliseconds(100), 0}};
+    auto trace = poissonTrace(mix, 40.0, 5000, 13);
+    ServingSimParams off;
+    ServingSimParams on;
+    on.cluster.overlapInitWithExec = true;
+    auto a = simulateServing(trace, FifoPolicy{}, handTable(), off);
+    auto b = simulateServing(trace, FifoPolicy{}, handTable(), on);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.stats.p99(), b.stats.p99());
+    EXPECT_EQ(a.stats.completed(), b.stats.completed());
 }
 
 TEST(Calibration, SloHelpersStampBounds)

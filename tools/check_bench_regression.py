@@ -16,7 +16,12 @@ snapshot:
     memory-aware policy stops re-planning, or
   - any serving policy's p95 request latency worsens by more than 10%,
     its goodput drops by more than 2 points, or its max sustainable
-    QPS drops by more than 10%.
+    QPS drops by more than 10%, or
+  - the serving_sharding section loses a (device count, overlap)
+    operating point, any point's max sustainable QPS drops by more
+    than 10%, the 4-device scaling efficiency regresses by more than
+    10%, or the cross-request overlap demo stops improving the
+    back-to-back makespan.
 
 Missing data fails loudly: absent aggregate_wall_speedup fields,
 instances/models/policies present on one side but not the other, and
@@ -185,6 +190,81 @@ def main() -> int:
                    else "the fresh run"))
         check_keyed_rows("serving policy", "policy", old_serving,
                          new_serving, failures, serving_check)
+
+    # Device sharding: the scaling curve over device counts and the
+    # cross-request overlap demo. Missing device counts are lost
+    # coverage, not silent passes.
+    if "serving_sharding" not in old or "serving_sharding" not in new:
+        side = ("both snapshots"
+                if "serving_sharding" not in old and
+                "serving_sharding" not in new else
+                "the committed snapshot"
+                if "serving_sharding" not in old else "the fresh run")
+        failures.append(f"serving_sharding missing from {side}")
+    else:
+        old_sh = old["serving_sharding"]
+        new_sh = new["serving_sharding"]
+
+        def point_key(row):
+            overlap = "on" if row.get("overlap") else "off"
+            return f"{row.get('devices')}dev/{overlap}"
+
+        def keyed(rows):
+            return [dict(r, point=point_key(r)) for r in rows]
+
+        def sharding_check(name, old_row, new_row):
+            if ("max_sustainable_qps" not in old_row or
+                    "max_sustainable_qps" not in new_row):
+                failures.append(
+                    f"sharding point {name}: max_sustainable_qps "
+                    "missing")
+                return
+            if (new_row["max_sustainable_qps"] <
+                    QPS_TOLERANCE * old_row["max_sustainable_qps"]):
+                failures.append(
+                    f"sharding point {name}: max sustainable QPS"
+                    f" regressed {old_row['max_sustainable_qps']:.2f}"
+                    f" -> {new_row['max_sustainable_qps']:.2f}"
+                    " (> 10%)")
+
+        old_pts = keyed(old_sh.get("scaling", []))
+        new_pts = keyed(new_sh.get("scaling", []))
+        if not old_pts or not new_pts:
+            failures.append(
+                "serving_sharding has no scaling points in "
+                + ("the committed snapshot" if not old_pts
+                   else "the fresh run"))
+        check_keyed_rows("sharding point", "point", old_pts, new_pts,
+                         failures, sharding_check)
+
+        old_eff = old_sh.get("scaling_efficiency_4dev")
+        new_eff = new_sh.get("scaling_efficiency_4dev")
+        if old_eff is None or new_eff is None:
+            failures.append(
+                "scaling_efficiency_4dev missing from "
+                + ("both snapshots" if old_eff is None and
+                   new_eff is None else
+                   "the committed snapshot" if old_eff is None else
+                   "the fresh run"))
+        else:
+            if new_eff < QPS_TOLERANCE * old_eff:
+                failures.append(
+                    "sharding scaling efficiency at 4 devices "
+                    f"regressed: {old_eff:.3f} -> {new_eff:.3f} "
+                    "(> 10%)")
+            print(f"4-device scaling efficiency: {old_eff:.3f} -> "
+                  f"{new_eff:.3f}")
+
+        new_demo = new_sh.get("overlap_demo", {})
+        if "makespan_speedup" not in new_demo:
+            failures.append(
+                "serving_sharding overlap_demo missing from the "
+                "fresh run")
+        elif new_demo["makespan_speedup"] <= 1.0:
+            failures.append(
+                "cross-request overlap no longer improves the "
+                "back-to-back LLM makespan (speedup "
+                f"{new_demo['makespan_speedup']:.3f} <= 1.0)")
 
     if failures:
         for f in failures:

@@ -2,22 +2,32 @@
 # Build Release and emit BENCH_table4.json (solver wall time,
 # decisions/s, plan-memo effect, merge-time re-balancing, planner
 # thread count, the Fig-6 per-policy scheduler section, and the
-# serving-harness section) so successive PRs accumulate a perf
-# trajectory. Run from anywhere; artifacts land in the repo root.
+# serving-harness + device-sharding sections) so successive PRs
+# accumulate a perf trajectory. Run from anywhere; artifacts land in
+# the repo root.
 #
 # Acts as a regression gate: the fresh run is compared against the
 # committed snapshot (tools/check_bench_regression.py) and the script
 # fails — leaving the committed snapshot in place — if the aggregate
 # solver speedup regresses by more than 10%, any instance objective
 # worsens, any Table-4 status degrades, any Fig-6 policy's makespan
-# or mean request latency worsens by more than 10%, or any serving
-# policy's p95 / goodput / max sustainable QPS regresses. Missing
-# fields/sections fail loudly, as do colliding top-level keys in the
-# section merge. Pass --no-gate to skip the comparison (e.g. on a
-# machine class different from the snapshot's, or when the schema
-# legitimately changed and the snapshot must be regenerated).
+# or mean request latency worsens by more than 10%, any serving
+# policy's p95 / goodput / max sustainable QPS regresses, or the
+# serving_sharding scaling curve loses a device count / regresses its
+# 4-device scaling efficiency. Missing fields/sections fail loudly,
+# as do colliding top-level keys in the section merge. Pass --no-gate
+# to skip the comparison (e.g. on a machine class different from the
+# snapshot's, or when the schema legitimately changed and the
+# snapshot must be regenerated).
 #
-# Usage: tools/run_benchmarks.sh [--no-gate] [output.json]
+# Pass --only SECTION[,SECTION...] (sections: solver, fig6, serving)
+# to re-run a subset of the benches — e.g. `--only serving` iterates
+# on the 1M-request serving study without re-running the solver
+# suite. The sections not re-run are carried over from the committed
+# snapshot, so the merged result keeps the full schema and the gate
+# still checks everything.
+#
+# Usage: tools/run_benchmarks.sh [--no-gate] [--only SECTIONS] [output.json]
 
 set -euo pipefail
 
@@ -25,60 +35,116 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-bench"
 
 gate=1
-if [[ "${1:-}" == "--no-gate" ]]; then
-    gate=0
-    shift
-fi
+only=""
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --no-gate) gate=0; shift ;;
+        --only) only="${2:?--only needs a section list}"; shift 2 ;;
+        --only=*) only="${1#--only=}"; shift ;;
+        *) break ;;
+    esac
+done
 out_json="${1:-${repo_root}/BENCH_table4.json}"
-fresh_json="$(mktemp /tmp/bench_table4.XXXXXX.json)"
-fig6_json="$(mktemp /tmp/bench_fig6.XXXXXX.json)"
-serving_json="$(mktemp /tmp/bench_serving.XXXXXX.json)"
-trap 'rm -f "${fresh_json}" "${fig6_json}" "${serving_json}"' EXIT
 
-cmake -B "${build_dir}" -S "${repo_root}" \
-      -DCMAKE_BUILD_TYPE=Release -DBUILD_TESTING=OFF >/dev/null
-cmake --build "${build_dir}" -j \
-      --target bench_table4_solver_runtime bench_fig6_multimodel \
-               bench_serving
-
-"${build_dir}/bench_table4_solver_runtime" "${fresh_json}"
-"${build_dir}/bench_fig6_multimodel" "${fig6_json}" >/dev/null
-"${build_dir}/bench_serving" "${serving_json}" >/dev/null
-
-# Merge the per-bench sections into the Table-4 snapshot. Top-level
-# keys must be disjoint: a silent overwrite would let one bench mask
-# another's section, so collisions fail the run.
-if ! command -v python3 >/dev/null; then
-    echo "warning: python3 not found; bench sections not merged" >&2
-else
-python3 - "${fresh_json}" "${fig6_json}" "${serving_json}" <<'EOF'
-import json, sys
-with open(sys.argv[1]) as f:
-    snap = json.load(f)
-for path in sys.argv[2:]:
-    with open(path) as f:
-        section = json.load(f)
-    for key, value in section.items():
-        if key in snap:
-            sys.exit(f"error: bench section merge would overwrite "
-                     f"top-level key '{key}' (from {path}); bench "
-                     f"outputs must use disjoint keys")
-        snap[key] = value
-with open(sys.argv[1], "w") as f:
-    json.dump(snap, f, indent=2)
-    f.write("\n")
-EOF
-fi
-
-if [[ ${gate} -eq 1 && -f "${out_json}" ]]; then
-    if command -v python3 >/dev/null; then
-        python3 "${repo_root}/tools/check_bench_regression.py" \
-                "${out_json}" "${fresh_json}"
-    else
-        echo "warning: python3 not found; skipping regression gate" >&2
+run_solver=1; run_fig6=1; run_serving=1
+if [[ -n "${only}" ]]; then
+    run_solver=0; run_fig6=0; run_serving=0
+    IFS=',' read -ra sections <<< "${only}"
+    for s in "${sections[@]}"; do
+        case "$s" in
+            solver)  run_solver=1 ;;
+            fig6)    run_fig6=1 ;;
+            serving) run_serving=1 ;;
+            *) echo "error: unknown section '$s'" \
+                    "(expected solver, fig6, serving)" >&2; exit 2 ;;
+        esac
+    done
+    if [[ ! -f "${out_json}" ]]; then
+        echo "error: --only needs an existing snapshot at" \
+             "${out_json} to carry the other sections from" >&2
+        exit 2
     fi
 fi
 
-mv "${fresh_json}" "${out_json}"
-trap 'rm -f "${fig6_json}" "${serving_json}"' EXIT
+solver_json="$(mktemp /tmp/bench_table4.XXXXXX.json)"
+fig6_json="$(mktemp /tmp/bench_fig6.XXXXXX.json)"
+serving_json="$(mktemp /tmp/bench_serving.XXXXXX.json)"
+merged_json="$(mktemp /tmp/bench_merged.XXXXXX.json)"
+trap 'rm -f "${solver_json}" "${fig6_json}" "${serving_json}" \
+           "${merged_json}"' EXIT
+
+targets=()
+[[ ${run_solver} -eq 1 ]] && targets+=(bench_table4_solver_runtime)
+[[ ${run_fig6} -eq 1 ]] && targets+=(bench_fig6_multimodel)
+[[ ${run_serving} -eq 1 ]] && targets+=(bench_serving)
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=Release -DBUILD_TESTING=OFF >/dev/null
+cmake --build "${build_dir}" -j --target "${targets[@]}"
+
+fresh=()
+if [[ ${run_solver} -eq 1 ]]; then
+    "${build_dir}/bench_table4_solver_runtime" "${solver_json}"
+    fresh+=("${solver_json}")
+fi
+if [[ ${run_fig6} -eq 1 ]]; then
+    "${build_dir}/bench_fig6_multimodel" "${fig6_json}" >/dev/null
+    fresh+=("${fig6_json}")
+fi
+if [[ ${run_serving} -eq 1 ]]; then
+    "${build_dir}/bench_serving" "${serving_json}" >/dev/null
+    fresh+=("${serving_json}")
+fi
+
+if ! command -v python3 >/dev/null; then
+    echo "error: python3 is required to merge bench sections" >&2
+    exit 1
+fi
+
+# Merge the per-bench sections. Full run: sections start from the
+# solver output and top-level keys must be disjoint (a silent
+# overwrite would let one bench mask another's section). Partial run
+# (--only): start from the committed snapshot and *replace* the keys
+# the re-run benches own; two fresh outputs still must not collide
+# with each other.
+if [[ -n "${only}" ]]; then
+    merge_base="${out_json}"
+    merge_mode="replace"
+else
+    merge_base="${fresh[0]}"
+    merge_mode="disjoint"
+    fresh=("${fresh[@]:1}")
+fi
+python3 - "${merge_mode}" "${merge_base}" "${merged_json}" \
+        "${fresh[@]}" <<'EOF'
+import json, sys
+mode, base_path, out_path = sys.argv[1:4]
+with open(base_path) as f:
+    snap = json.load(f)
+fresh_owner = {}
+for path in sys.argv[4:]:
+    with open(path) as f:
+        section = json.load(f)
+    for key, value in section.items():
+        if key in fresh_owner:
+            sys.exit(f"error: bench outputs collide on top-level "
+                     f"key '{key}' ({fresh_owner[key]} and {path})")
+        if mode == "disjoint" and key in snap:
+            sys.exit(f"error: bench section merge would overwrite "
+                     f"top-level key '{key}' (from {path}); bench "
+                     f"outputs must use disjoint keys")
+        fresh_owner[key] = path
+        snap[key] = value
+with open(out_path, "w") as f:
+    json.dump(snap, f, indent=2)
+    f.write("\n")
+EOF
+
+if [[ ${gate} -eq 1 && -f "${out_json}" ]]; then
+    python3 "${repo_root}/tools/check_bench_regression.py" \
+            "${out_json}" "${merged_json}"
+fi
+
+mv "${merged_json}" "${out_json}"
+trap 'rm -f "${solver_json}" "${fig6_json}" "${serving_json}"' EXIT
 echo "perf snapshot written to ${out_json}"
