@@ -63,7 +63,16 @@ ThreadPool::workerLoop()
             queue_.pop();
             ++inFlight_;
         }
-        job();
+        // submit() wraps tasks in a packaged_task, which captures the
+        // task's exception into its future — the waiter rethrows it on
+        // get(). An exception escaping job() anyway (a future_error
+        // from the packaged_task itself, or a raw internal job) must
+        // not take the worker thread down with std::terminate and
+        // strand every queued future: swallow it and keep serving.
+        try {
+            job();
+        } catch (...) {
+        }
         {
             std::lock_guard<std::mutex> lock(mu_);
             --inFlight_;

@@ -50,7 +50,9 @@ class ThreadPool
 
     /**
      * Enqueue @p fn; the returned future yields its result (or rethrows
-     * its exception).
+     * its exception). A throwing task never takes a worker down: the
+     * exception travels to the waiter through the future, and the
+     * worker thread goes on serving the queue.
      */
     template <typename Fn>
     auto

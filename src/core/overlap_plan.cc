@@ -287,6 +287,39 @@ getPod(std::istream &is, T &value)
     return is.good();
 }
 
+/**
+ * FNV-1a over the serialized payload (everything after magic+version).
+ * The memo file lives across process lifetimes on flash, where a
+ * single flipped bit in an entry body would otherwise load silently
+ * and poison every warm-started plan; the checksum turns any
+ * corruption into a clean cold start.
+ */
+class Fnv1a
+{
+  public:
+    void
+    add(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 0x100000001B3ull;
+        }
+    }
+
+    template <typename T>
+    void
+    addPod(const T &value)
+    {
+        add(&value, sizeof(value));
+    }
+
+    std::uint64_t digest() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xCBF29CE484222325ull;
+};
+
 } // namespace
 
 bool
@@ -304,7 +337,10 @@ PlanMemo::loadFromFile(const std::string &path)
         return false;
 
     // Parse into a scratch map first so a truncated file cannot leave
-    // the memo half-loaded.
+    // the memo half-loaded, re-deriving the payload checksum as we go.
+    Fnv1a sum;
+    sum.addPod(clock);
+    sum.addPod(count);
     std::unordered_map<std::uint64_t, Entry> loaded;
     for (std::uint64_t i = 0; i < count; ++i) {
         std::uint64_t fp = 0, last_use = 0, nvalues = 0;
@@ -316,6 +352,10 @@ PlanMemo::loadFromFile(const std::string &path)
         // variables; reject absurd counts from corrupt files.
         if (nvalues > (1u << 22))
             return false;
+        sum.addPod(fp);
+        sum.addPod(objective);
+        sum.addPod(last_use);
+        sum.addPod(nvalues);
         Entry e;
         e.objective = objective;
         e.lastUse = last_use;
@@ -326,8 +366,16 @@ PlanMemo::loadFromFile(const std::string &path)
                                                   sizeof(std::int64_t)))
                  .good())
             return false;
+        sum.add(e.values.data(),
+                e.values.size() * sizeof(std::int64_t));
         loaded.emplace(fp, std::move(e));
     }
+
+    // Trailing checksum: catches bit-flips the structural checks
+    // above cannot (corrupt values, swapped entries, a stale clock).
+    std::uint64_t stored_sum = 0;
+    if (!getPod(in, stored_sum) || stored_sum != sum.digest())
+        return false;
 
     std::lock_guard<std::mutex> lock(mu_);
     entries_ = std::move(loaded);
@@ -355,19 +403,32 @@ PlanMemo::saveToFile(const std::string &path) const
         if (!out)
             return false;
         std::lock_guard<std::mutex> lock(mu_);
+        Fnv1a sum;
         putPod(out, kMemoMagic);
         putPod(out, kFileVersion);
         putPod(out, clock_);
-        putPod(out, static_cast<std::uint64_t>(entries_.size()));
+        sum.addPod(clock_);
+        const auto count = static_cast<std::uint64_t>(entries_.size());
+        putPod(out, count);
+        sum.addPod(count);
         for (const auto &[fp, e] : entries_) {
+            const auto nvalues =
+                static_cast<std::uint64_t>(e.values.size());
             putPod(out, fp);
             putPod(out, e.objective);
             putPod(out, e.lastUse);
-            putPod(out, static_cast<std::uint64_t>(e.values.size()));
+            putPod(out, nvalues);
+            sum.addPod(fp);
+            sum.addPod(e.objective);
+            sum.addPod(e.lastUse);
+            sum.addPod(nvalues);
             out.write(reinterpret_cast<const char *>(e.values.data()),
                       static_cast<std::streamsize>(
                           e.values.size() * sizeof(std::int64_t)));
+            sum.add(e.values.data(),
+                    e.values.size() * sizeof(std::int64_t));
         }
+        putPod(out, sum.digest());
         if (!out.good())
             return false;
     }

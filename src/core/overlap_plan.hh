@@ -185,19 +185,24 @@ class PlanMemo
     /**
      * Replace the contents with the entries serialized in @p path.
      * @return false — leaving the previous contents untouched — when
-     * the file is absent, truncated, or not a supported format
-     * version.
+     * the file is absent, truncated, fails its payload checksum
+     * (bit-flips anywhere in the body), or is not a supported format
+     * version. A rejected file is never partially loaded: the caller
+     * simply cold-starts with an empty memo.
      */
     bool loadFromFile(const std::string &path);
 
-    /** Serialize every entry to @p path (versioned binary). */
+    /** Serialize every entry to @p path (versioned, checksummed
+     * binary). */
     bool saveToFile(const std::string &path) const;
 
     /** Backing file ("" when the memo is memory-only). */
     const std::string &memoPath() const { return memo_path_; }
 
-    /** On-disk format version written by saveToFile(). */
-    static constexpr std::uint32_t kFileVersion = 1;
+    /** On-disk format version written by saveToFile(). Version 2
+     * added a trailing FNV-1a checksum over the payload; version-1
+     * files are rejected (cold start) rather than trusted unchecked. */
+    static constexpr std::uint32_t kFileVersion = 2;
 
   private:
     struct Entry

@@ -228,7 +228,9 @@ GraphBuilder::softmax(NodeId in, const std::string &name)
 NodeId
 GraphBuilder::layerNorm(NodeId in, const std::string &name)
 {
-    const TensorShape &s = shapeOf(in);
+    // By value: emit() grows the node vector and would dangle a
+    // reference, which the s.dim()/s.rank() reads below still need.
+    const TensorShape s = shapeOf(in);
     NodeId id = emit(OpKind::LayerNorm, {in}, s, 4 * elems(s), name);
     addWeight(id, {2, s.dim(s.rank() - 1)}, name + ".gamma_beta");
     return id;
@@ -237,7 +239,7 @@ GraphBuilder::layerNorm(NodeId in, const std::string &name)
 NodeId
 GraphBuilder::groupNorm(NodeId in, const std::string &name)
 {
-    const TensorShape &s = shapeOf(in);
+    const TensorShape s = shapeOf(in); // by value; emit() reallocates
     NodeId id = emit(OpKind::GroupNorm, {in}, s, 4 * elems(s), name);
     addWeight(id, {2, s.dim(1)}, name + ".gamma_beta");
     return id;
@@ -246,7 +248,7 @@ GraphBuilder::groupNorm(NodeId in, const std::string &name)
 NodeId
 GraphBuilder::rmsNorm(NodeId in, const std::string &name)
 {
-    const TensorShape &s = shapeOf(in);
+    const TensorShape s = shapeOf(in); // by value; emit() reallocates
     NodeId id = emit(OpKind::RMSNorm, {in}, s, 3 * elems(s), name);
     addWeight(id, {s.dim(s.rank() - 1)}, name + ".gamma");
     return id;

@@ -1,6 +1,7 @@
 #include "multidnn/device.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 
@@ -95,6 +96,20 @@ class CapacityAffinityPlacement : public PlacementPolicy
 } // namespace
 
 const char *
+deviceHealthName(DeviceHealth health)
+{
+    switch (health) {
+      case DeviceHealth::Healthy:
+        return "healthy";
+      case DeviceHealth::Suspect:
+        return "suspect";
+      case DeviceHealth::Down:
+        return "down";
+    }
+    return "unknown";
+}
+
+const char *
 placementName(PlacementKind kind)
 {
     switch (kind) {
@@ -146,10 +161,18 @@ bool
 DeviceCluster::canAccept(int device, SimTime now) const
 {
     const auto &d = devices_[static_cast<std::size_t>(device)];
+    if (d.health == DeviceHealth::Down)
+        return false;
     if (!cfg_.overlapInitWithExec)
         return d.inFlight == 0 && d.computeBusyUntil <= now &&
                d.dmaBusyUntil <= now;
-    return d.inFlight < kOverlapPipelineDepth && d.dmaBusyUntil <= now;
+    // Probation probe: a freshly rejoined device serves one request
+    // at a time until its Suspect window passes.
+    int depth = d.health == DeviceHealth::Suspect &&
+                        now < d.probationUntil
+                    ? 1
+                    : kOverlapPipelineDepth;
+    return d.inFlight < depth && d.dmaBusyUntil <= now;
 }
 
 bool
@@ -181,6 +204,13 @@ DeviceCluster::planTimes(int device, SimTime now, SimTime initTime,
                          SimTime execTime) const
 {
     const auto &d = devices_[static_cast<std::size_t>(device)];
+    if (now < d.slowUntil && d.slowFactor > 1.0) {
+        // Thermal-throttle window: the whole service stretches.
+        initTime = std::llround(d.slowFactor *
+                                static_cast<double>(initTime));
+        execTime = std::llround(d.slowFactor *
+                                static_cast<double>(execTime));
+    }
     PlacedTimes t;
     if (!cfg_.overlapInitWithExec) {
         // Single-resource device: init and exec run back to back, and
@@ -207,6 +237,12 @@ DeviceCluster::commit(int device, models::ModelId model,
     // Exec phase begins once the preload set is resident and the
     // previous run retired (equals t.initDone when overlap is off).
     SimTime compute_start = std::max(t.initDone, d.computeBusyUntil);
+    d.undo.valid = true;
+    d.undo.prevComputeBusyUntil = d.computeBusyUntil;
+    d.undo.prevDmaBusyUntil = d.dmaBusyUntil;
+    d.undo.dmaBusyDelta = t.initDone - t.start;
+    d.undo.computeBusyDelta = t.end - compute_start;
+    d.undo.model = model;
     d.dmaBusyUntil = t.initDone;
     d.computeBusyUntil = t.end;
     ++d.inFlight;
@@ -216,7 +252,10 @@ DeviceCluster::commit(int device, models::ModelId model,
 
     auto [it, inserted] =
         d.residentPlanBudget.try_emplace(model, planBudget);
-    if (inserted || it->second != planBudget) {
+    d.undo.hadResidency = !inserted;
+    d.undo.prevBudget = inserted ? 0 : it->second;
+    d.undo.countedSwitch = inserted || it->second != planBudget;
+    if (d.undo.countedSwitch) {
         ++d.planSwitches;
         it->second = planBudget;
     }
@@ -228,6 +267,103 @@ DeviceCluster::complete(int device)
     auto &d = devices_[static_cast<std::size_t>(device)];
     FM_ASSERT(d.inFlight > 0, "completion on an idle device");
     --d.inFlight;
+}
+
+namespace {
+
+/** Shared Down transition: the loop has already killed the in-flight
+ * runs, so the pipeline empties and the horizons collapse to now. */
+void
+takeDown(DeviceState &d, SimTime now, bool crashed)
+{
+    d.health = DeviceHealth::Down;
+    d.crashDown = crashed;
+    d.downSince = now;
+    d.inFlight = 0;
+    d.computeBusyUntil = now;
+    d.dmaBusyUntil = now;
+    d.undo.valid = false;
+}
+
+} // namespace
+
+void
+DeviceCluster::crash(int device, SimTime now)
+{
+    auto &d = devices_[static_cast<std::size_t>(device)];
+    FM_ASSERT(d.health != DeviceHealth::Down,
+              "crash on a device already down");
+    takeDown(d, now, /*crashed=*/true);
+    // Device memory is gone with the device: every resident plan must
+    // be re-planned (warm through the PlanMemo) after the rejoin.
+    d.residentPlanBudget.clear();
+}
+
+void
+DeviceCluster::markDown(int device, SimTime now)
+{
+    auto &d = devices_[static_cast<std::size_t>(device)];
+    FM_ASSERT(d.health != DeviceHealth::Down,
+              "markDown on a device already down");
+    // Wedged, not dead: plan residency survives the outage.
+    takeDown(d, now, /*crashed=*/false);
+}
+
+void
+DeviceCluster::rejoin(int device, SimTime now, SimTime probation)
+{
+    auto &d = devices_[static_cast<std::size_t>(device)];
+    FM_ASSERT(d.health == DeviceHealth::Down,
+              "rejoin on a device that is not down");
+    d.downTime += now - d.downSince;
+    d.health = DeviceHealth::Suspect;
+    d.crashDown = false;
+    d.probationUntil = now + probation;
+    d.inFlight = 0;
+    d.computeBusyUntil = now;
+    d.dmaBusyUntil = now;
+    d.undo.valid = false;
+}
+
+void
+DeviceCluster::delay(int device, SimTime now, SimTime duration)
+{
+    auto &d = devices_[static_cast<std::size_t>(device)];
+    // A frozen device makes no progress: busy horizons slide by the
+    // stall, and an idle resource stays unavailable until it clears.
+    d.computeBusyUntil = std::max(d.computeBusyUntil, now) + duration;
+    d.dmaBusyUntil = std::max(d.dmaBusyUntil, now) + duration;
+}
+
+void
+DeviceCluster::setSlowdown(int device, double factor, SimTime until)
+{
+    auto &d = devices_[static_cast<std::size_t>(device)];
+    FM_ASSERT(factor >= 1.0, "slowdown factor must be >= 1");
+    d.slowFactor = factor;
+    d.slowUntil = until;
+}
+
+void
+DeviceCluster::abortLastCommit(int device)
+{
+    auto &d = devices_[static_cast<std::size_t>(device)];
+    FM_ASSERT(d.undo.valid, "abortLastCommit without a valid undo");
+    FM_ASSERT(d.inFlight > 0, "abortLastCommit on an idle device");
+    d.computeBusyUntil = d.undo.prevComputeBusyUntil;
+    d.dmaBusyUntil = d.undo.prevDmaBusyUntil;
+    d.dmaBusyTime -= d.undo.dmaBusyDelta;
+    d.computeBusyTime -= d.undo.computeBusyDelta;
+    --d.inFlight;
+    --d.dispatched;
+    if (d.undo.countedSwitch) {
+        --d.planSwitches;
+        if (d.undo.hadResidency)
+            d.residentPlanBudget[d.undo.model] = d.undo.prevBudget;
+        else
+            d.residentPlanBudget.erase(d.undo.model);
+    }
+    d.undo.valid = false;
 }
 
 std::vector<DeviceUtilization>
@@ -242,12 +378,17 @@ DeviceCluster::utilization(SimTime makespan) const
         u.planSwitches = d.planSwitches;
         u.computeBusyTime = d.computeBusyTime;
         u.dmaBusyTime = d.dmaBusyTime;
+        u.downTime = d.downTime;
+        if (d.health == DeviceHealth::Down && makespan > d.downSince)
+            u.downTime += makespan - d.downSince;
         if (makespan > 0) {
             u.computeUtilization =
                 static_cast<double>(d.computeBusyTime) /
                 static_cast<double>(makespan);
             u.dmaUtilization = static_cast<double>(d.dmaBusyTime) /
                                static_cast<double>(makespan);
+            u.downFraction = static_cast<double>(u.downTime) /
+                             static_cast<double>(makespan);
         }
         out.push_back(u);
     }

@@ -41,6 +41,23 @@ enum class PlacementKind
 /** Human name of a placement strategy. */
 const char *placementName(PlacementKind kind);
 
+/**
+ * Health of one simulated device under fault injection.
+ * Healthy devices serve normally; a Down device accepts nothing; a
+ * Suspect device just rejoined and serves at pipeline depth 1 (the
+ * heartbeat-style probation probe) until its probation window passes,
+ * after which it counts as Healthy again.
+ */
+enum class DeviceHealth
+{
+    Healthy,
+    Suspect,
+    Down,
+};
+
+/** Human name of a device health state. */
+const char *deviceHealthName(DeviceHealth health);
+
 /** All built-in placement kinds, in presentation order. */
 const std::vector<PlacementKind> &allPlacementKinds();
 
@@ -87,6 +104,43 @@ struct DeviceState
 
     /** Plan budget this device currently holds per model. */
     std::map<models::ModelId, Bytes> residentPlanBudget;
+
+    /** @name Fault state (driven by the event loop's fault events). @{ */
+    DeviceHealth health = DeviceHealth::Healthy;
+    /** Down because of a crash (recovered by a Rejoin fault event)
+     * rather than a watchdog wedge (recovered by a Recover event). */
+    bool crashDown = false;
+    SimTime downSince = 0;      ///< when the current Down began
+    SimTime probationUntil = 0; ///< Suspect until this instant
+    SimTime downTime = 0;       ///< closed Down intervals, summed
+    /** Thermal-throttle model: dispatches placed while now < slowUntil
+     * run with init and exec scaled by slowFactor. */
+    double slowFactor = 1.0;
+    SimTime slowUntil = 0;
+    /** @} */
+
+    /**
+     * One-deep undo for the youngest commit, consumed when a
+     * transient DMA error aborts the preload it placed (the aborted
+     * run is always the youngest commit: any later commit's preload
+     * would start after the aborted one's initDone). Horizons are
+     * restored as saved absolutes and busy times as deltas; a stall
+     * delaying the device between commit and abort makes the restored
+     * horizons approximate (never unsafe — only placement timing).
+     */
+    struct CommitUndo
+    {
+        bool valid = false;
+        SimTime prevComputeBusyUntil = 0;
+        SimTime prevDmaBusyUntil = 0;
+        SimTime dmaBusyDelta = 0;
+        SimTime computeBusyDelta = 0;
+        models::ModelId model{};
+        bool countedSwitch = false;
+        bool hadResidency = false;
+        Bytes prevBudget = 0;
+    };
+    CommitUndo undo;
 };
 
 /** Per-device utilization summary exposed on outcomes. */
@@ -104,6 +158,11 @@ struct DeviceUtilization
      * fast simulator unless calibrated peaks are tracked). */
     Bytes peakMemory = 0;
     double energyJoules = 0.0;
+    /** Time this device spent Down (crashed or wedged), including an
+     * interval still open at the makespan. */
+    SimTime downTime = 0;
+    /** downTime over the outcome's makespan (0 when empty). */
+    double downFraction = 0.0;
 };
 
 /** Placement of one run on a device's two resources. */
@@ -158,6 +217,8 @@ class DeviceCluster
      * True when @p device can take a new request at @p now: idle when
      * overlap is off; DMA queue free and fewer than two requests in
      * flight (one computing + one preloading) when overlap is on.
+     * A Down device accepts nothing; a Suspect device (rejoined,
+     * still inside probation) is capped at one request in flight.
      */
     bool canAccept(int device, SimTime now) const;
 
@@ -193,7 +254,48 @@ class DeviceCluster
     /** A run on @p device completed; frees its pipeline slot. */
     void complete(int device);
 
-    /** Utilization rows over @p makespan (fractions 0 when 0). */
+    /** @name Fault transitions (driven by the shared event loop). @{ */
+
+    /**
+     * @p device died at @p now: Down, pipeline emptied (the loop has
+     * already killed the in-flight runs), and plan residency wiped —
+     * device memory is gone, so a recovered device re-plans warm
+     * through the PlanMemo rather than finding plans resident.
+     */
+    void crash(int device, SimTime now);
+
+    /**
+     * A Down @p device came back at @p now: downtime is closed into
+     * the accounting, horizons reset to @p now, and the device serves
+     * as Suspect (pipeline depth 1) until @p now + @p probation.
+     */
+    void rejoin(int device, SimTime now, SimTime probation);
+
+    /**
+     * Watchdog variant of crash(): the device is wedged (a stalled
+     * run blew its timeout budget) but its memory is intact, so plan
+     * residency survives while the device sits Down.
+     */
+    void markDown(int device, SimTime now);
+
+    /** Freeze @p device for @p duration from @p now: both resource
+     * horizons shift by the stall (an idle horizon becomes
+     * @p now + @p duration), blocking dispatches during the window. */
+    void delay(int device, SimTime now, SimTime duration);
+
+    /** Scale dispatches placed on @p device before @p until by
+     * @p factor (>= 1; thermal-throttle model). */
+    void setSlowdown(int device, double factor, SimTime until);
+
+    /** Roll back the youngest commit on @p device (transient DMA
+     * abort). The undo must still be valid — the aborted preload is
+     * always the youngest commit. */
+    void abortLastCommit(int device);
+    /** @} */
+
+    /** Utilization rows over @p makespan (fractions 0 when 0);
+     * includes per-device downtime, counting a still-open Down
+     * interval up to the makespan. */
     std::vector<DeviceUtilization> utilization(SimTime makespan) const;
 
   private:

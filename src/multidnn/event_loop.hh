@@ -6,29 +6,55 @@
  * fast serving simulator (serving/sweep.cc) each carried a private
  * copy of the same simulation-clock loop, and their bit-exact
  * equivalence rested on keeping the copies in sync by hand. The loop
- * now lives here once, templated over three backend hooks, so the
- * real scheduler (full streamed executions) and the fast simulator
+ * now lives here once, templated over backend hooks, so the real
+ * scheduler (full streamed executions) and the fast simulator
  * (calibrated service-table lookups) literally run the same control
  * flow: same event ordering, same admission pass, same policy
- * selection, same device placement — the cross-validation invariant
- * holds by construction.
+ * selection, same device placement, and — with a FaultPlan — the same
+ * fault timeline and recovery decisions. The cross-validation
+ * invariant holds by construction, failure path included.
  *
- * Event ordering at equal timestamps: arrivals first (a dispatch
- * point always sees every request that has arrived by then), then
- * DMA-free events (cross-request overlap: a device's preload queue
- * freeing is a dispatch opportunity), then completions; ties break on
- * the event's sequence id. The clock is integer nanoseconds, so the
- * loop is exactly deterministic.
+ * Event ordering at equal timestamps: injected faults first (a crash
+ * at time T kills the runs in flight at T before anything else
+ * happens at T), then arrivals and retry re-entries (a dispatch point
+ * always sees every request that is ready by then), then DMA-free
+ * wakes, completions, and finally the watchdog/recovery events; ties
+ * break on the event's sequence id. The clock is integer nanoseconds,
+ * so the loop is exactly deterministic.
+ *
+ * Fault tolerance: the loop tracks every dispatched run in flight and
+ * consumes the FaultPlan as a fourth event source. A crash kills the
+ * victims and re-dispatches them to surviving devices with capped
+ * exponential backoff; a stall shifts in-flight completions unless a
+ * run blows its per-dispatch timeout budget, in which case a watchdog
+ * (DeviceDown) kills everything on the wedged device; a transient DMA
+ * error rolls the youngest dispatch back off the device. Requests
+ * whose retry budget is exhausted are fault-shed; requests still
+ * queued when no device can ever accept again are starvation-dropped
+ * — the loop never ends with a request unaccounted for.
+ *
+ * Completion hand-off: onComplete fires once per surviving run, in
+ * dispatch (runId) order — not completion order — via an internal
+ * reorder window, so backends can append to dispatch-ordered result
+ * vectors and feed order-sensitive streaming estimators (P²
+ * quantiles) identically on both paths. Without faults every dispatch
+ * completes and the delivery order equals today's dispatch-time
+ * recording exactly.
  */
 
 #ifndef FLASHMEM_MULTIDNN_EVENT_LOOP_HH
 #define FLASHMEM_MULTIDNN_EVENT_LOOP_HH
 
+#include <algorithm>
+#include <cmath>
+#include <deque>
 #include <queue>
+#include <sstream>
 #include <vector>
 
 #include "common/logging.hh"
 #include "multidnn/device.hh"
+#include "multidnn/faults.hh"
 #include "multidnn/policies.hh"
 #include "multidnn/workload.hh"
 
@@ -49,41 +75,62 @@ struct DispatchedRun
  *     scheduler view of request @p seq (estimate lookup differs
  *     between the real and fast paths).
  * @param dispatch   (const ReadyRequest &picked,
- *     const std::vector<ReadyRequest> &ready, SimTime now)
- *     -> DispatchedRun: place and execute the picked request. The
- *     hook chooses the device (DeviceCluster::pickDevice), computes
- *     or measures the run's times, and must call
- *     DeviceCluster::commit; the loop schedules the DMA-free and
- *     completion events from the returned times. @p ready is the
- *     remaining ready set (co-resident working-set accounting).
- * @param onShed     (const ReadyRequest &r, SimTime now): request
- *     dropped by SLO admission.
+ *     const std::vector<ReadyRequest> &ready, SimTime now,
+ *     std::uint64_t runId) -> DispatchedRun: place and execute the
+ *     picked request. The hook chooses the device
+ *     (DeviceCluster::pickDevice), computes or measures the run's
+ *     times, and must call DeviceCluster::commit; the loop schedules
+ *     the DMA-free and completion events from the returned times.
+ *     @p ready is the remaining ready set (co-resident working-set
+ *     accounting); @p runId identifies this dispatch in the matching
+ *     onComplete call (a retried request dispatches under a fresh id).
+ * @param onComplete (const ReadyRequest &req, const DispatchedRun
+ *     &run, std::uint64_t runId): the run survived to completion.
+ *     Delivered in runId (dispatch) order; run.times carries the
+ *     actual (possibly stall-shifted) timeline.
+ * @param onDrop     (const ReadyRequest &r, SimTime now,
+ *     DropReason reason): request dropped without completing — SLO
+ *     admission shed, fault-retry budget exhausted, or starved at
+ *     drain end with no accepting device left.
  * @param ready_limit abort threshold on the ready-set size (0 = no
  *     limit). @return false when the backlog exceeded it — the
  *     offered load is unstable and the drain aborted early.
+ * @param faults optional deterministic fault schedule (see
+ *     multidnn/faults.hh); @p recovery tunes detection and retry;
+ *     @p counters, when given, accumulates fault/recovery accounting.
  */
-template <typename MakeReadyFn, typename DispatchFn, typename ShedFn>
+template <typename MakeReadyFn, typename DispatchFn,
+          typename CompleteFn, typename DropFn>
 bool
 drainClusterQueue(const std::vector<ModelRequest> &queue,
                   const SchedulingPolicy &policy,
                   DeviceCluster &cluster, MakeReadyFn &&makeReady,
-                  DispatchFn &&dispatch, ShedFn &&onShed,
-                  std::size_t ready_limit = 0)
+                  DispatchFn &&dispatch, CompleteFn &&onComplete,
+                  DropFn &&onDrop, std::size_t ready_limit = 0,
+                  const FaultPlan *faults = nullptr,
+                  const RecoveryConfig &recovery = {},
+                  FaultCounters *counters = nullptr)
 {
     /** One event of the simulation clock. */
     struct Event
     {
         SimTime time = 0;
-        /** Arrivals order before DMA-frees before completions at
-         * equal times. */
+        /** Faults order before arrivals/retries, which order before
+         * DMA-frees, completions, and watchdog events at equal
+         * times. */
         enum Kind
         {
-            Arrival = 0,
-            DmaFree = 1,
-            Completion = 2
+            Fault = 0,
+            Arrival = 1,
+            Retry = 2,
+            DmaFree = 3,
+            Completion = 4,
+            DeviceDown = 5, ///< watchdog fired: stall blew a timeout
+            Recover = 6,    ///< stall wedge cleared; device may rejoin
         } kind = Arrival;
-        /** Queue index (arrival) / device id (DMA-free, completion);
-         * the deterministic tie-break. */
+        /** Queue index (arrival) / fault index (fault) / retry-pool
+         * index (retry) / device id (others); the deterministic
+         * tie-break. */
         std::size_t seq = 0;
 
         bool
@@ -97,45 +144,308 @@ drainClusterQueue(const std::vector<ModelRequest> &queue,
         }
     };
 
+    /** One dispatched run in the reorder window. */
+    struct Flight
+    {
+        enum State
+        {
+            Live,
+            Completed,
+            Killed,
+        } state = Live;
+        ReadyRequest req;
+        DispatchedRun run;
+    };
+
     std::priority_queue<Event, std::vector<Event>, std::greater<>>
         events;
     for (std::size_t i = 0; i < queue.size(); ++i)
         events.push({queue[i].arrival, Event::Arrival, i});
+    if (faults) {
+        for (std::size_t i = 0; i < faults->events.size(); ++i)
+            events.push({faults->events[i].time, Event::Fault, i});
+    }
+
+    // Reorder window of dispatched runs: window[id - base]. Entries
+    // resolve (complete or die) out of order but flush — and hand
+    // onComplete — strictly in dispatch order.
+    std::deque<Flight> window;
+    std::uint64_t window_base = 0;
+    auto flight = [&](std::uint64_t run_id) -> Flight & {
+        return window[static_cast<std::size_t>(run_id - window_base)];
+    };
+    auto flushWindow = [&] {
+        while (!window.empty() && window.front().state != Flight::Live) {
+            if (window.front().state == Flight::Completed)
+                onComplete(window.front().req, window.front().run,
+                           window_base);
+            window.pop_front();
+            ++window_base;
+        }
+    };
+
+    // Live run ids per device, in dispatch order (the completion
+    // matcher and the per-device kill sweeps key on this).
+    std::vector<std::vector<std::uint64_t>> device_runs(
+        static_cast<std::size_t>(cluster.deviceCount()));
 
     std::vector<ReadyRequest> ready;
+    std::vector<ReadyRequest> retry_pool;
+
+    // Kill one live run: resolve its window entry and either schedule
+    // a backoff retry or fault-shed the request. Cluster-side state
+    // (inFlight, horizons, residency) is the fault handler's job.
+    auto killRun = [&](std::uint64_t run_id, SimTime now) {
+        auto &f = flight(run_id);
+        FM_ASSERT(f.state == Flight::Live, "killing a resolved run");
+        f.state = Flight::Killed;
+        ReadyRequest req = f.req;
+        req.attempts += 1;
+        req.lastFailedDevice = f.run.device;
+        if (req.attempts > recovery.maxRetries) {
+            if (counters)
+                ++counters->faultSheds;
+            onDrop(req, now, DropReason::FaultBudget);
+            return;
+        }
+        if (counters)
+            ++counters->retries;
+        SimTime backoff = std::max<SimTime>(recovery.backoffBase, 1);
+        for (int i = 1; i < req.attempts && backoff < recovery.backoffCap;
+             ++i)
+            backoff *= 2;
+        backoff = std::min(backoff,
+                           std::max<SimTime>(recovery.backoffCap, 1));
+        events.push({now + backoff, Event::Retry, retry_pool.size()});
+        retry_pool.push_back(req);
+    };
+
+    auto killAllOn = [&](int dev, SimTime now, bool timeout) {
+        auto &runs = device_runs[static_cast<std::size_t>(dev)];
+        for (std::uint64_t id : std::vector<std::uint64_t>(runs)) {
+            if (timeout && counters)
+                ++counters->timeouts;
+            killRun(id, now);
+        }
+        runs.clear();
+    };
+
+    // Stuck-clock guard: a bounded number of events may legitimately
+    // share one instant (simultaneous arrivals, zero-length services,
+    // fault bursts); processing vastly more without the clock moving
+    // means the loop is wedged — fail loudly with the cluster state
+    // rather than spin forever.
+    const std::size_t stuck_limit =
+        recovery.stuckEventLimit > 0
+            ? recovery.stuckEventLimit
+            : 64 * (queue.size() +
+                    (faults ? faults->events.size() : 0)) +
+                  4096;
+    std::size_t stuck = 0;
+
+    std::uint64_t next_run_id = 0;
     SimTime now = 0;
     while (!events.empty()) {
         auto ev = events.top();
         events.pop();
+        if (ev.time > now) {
+            now = ev.time;
+            stuck = 0;
+        } else if (++stuck > stuck_limit) {
+            std::ostringstream diag;
+            for (const auto &d : cluster.devices())
+                diag << " dev" << d.id << "{health="
+                     << static_cast<int>(d.health)
+                     << " inFlight=" << d.inFlight
+                     << " computeBusyUntil=" << d.computeBusyUntil
+                     << " dmaBusyUntil=" << d.dmaBusyUntil << "}";
+            FM_PANIC("cluster event loop stuck: ", stuck,
+                     " events without the clock advancing past ", now,
+                     "ns (limit ", stuck_limit,
+                     "); ready=", ready.size(),
+                     " pendingEvents=", events.size(),
+                     " inFlight=", window.size(), ";", diag.str());
+        }
         now = std::max(now, ev.time);
-        if (ev.kind == Event::Arrival) {
+
+        switch (ev.kind) {
+          case Event::Arrival:
             ready.push_back(makeReady(ev.seq));
             if (ready_limit > 0 && ready.size() > ready_limit)
                 return false; // backlog diverged: unstable load
-        } else if (ev.kind == Event::Completion) {
-            cluster.complete(static_cast<int>(ev.seq));
+            break;
+          case Event::Retry:
+            ready.push_back(retry_pool[ev.seq]);
+            if (ready_limit > 0 && ready.size() > ready_limit)
+                return false;
+            break;
+          case Event::Completion: {
+            // Match the oldest live run on this device ending now.
+            // No match means the event went stale (its run was killed
+            // or stall-shifted); completions of shifted runs were
+            // rescheduled when the shift happened.
+            auto &runs = device_runs[ev.seq];
+            auto it = std::find_if(
+                runs.begin(), runs.end(), [&](std::uint64_t id) {
+                    return flight(id).run.times.end == ev.time;
+                });
+            if (it != runs.end()) {
+                auto &f = flight(*it);
+                f.state = Flight::Completed;
+                runs.erase(it);
+                cluster.complete(static_cast<int>(ev.seq));
+                flushWindow();
+            }
+            break;
+          }
+          case Event::Fault: {
+            const auto &fe = faults->events[ev.seq];
+            const auto &dev =
+                cluster.devices()[static_cast<std::size_t>(fe.device)];
+            switch (fe.kind) {
+              case FaultKind::Crash:
+                if (dev.health == DeviceHealth::Down)
+                    break;
+                if (counters)
+                    ++counters->crashes;
+                killAllOn(fe.device, now, /*timeout=*/false);
+                cluster.crash(fe.device, now);
+                flushWindow();
+                break;
+              case FaultKind::Rejoin:
+                // Only a crashed device rejoins here; a watchdog-down
+                // (wedged) device recovers through its Recover event.
+                if (dev.health == DeviceHealth::Down && dev.crashDown)
+                    cluster.rejoin(fe.device, now, recovery.probation);
+                break;
+              case FaultKind::Stall: {
+                if (dev.health == DeviceHealth::Down)
+                    break;
+                // Freeze the device: shift its horizons and every
+                // in-flight completion by the stall. A run whose
+                // shifted end blows its timeout budget arms the
+                // watchdog at the earliest blown deadline instead.
+                cluster.delay(fe.device, now, fe.duration);
+                SimTime fire = kTimeNever;
+                SimTime clear = now + fe.duration;
+                for (std::uint64_t id : device_runs[static_cast<
+                         std::size_t>(fe.device)]) {
+                    auto &f = flight(id);
+                    SimTime service =
+                        f.run.times.end - f.run.times.start;
+                    SimTime budget_at =
+                        f.run.times.start +
+                        std::llround(recovery.timeoutFactor *
+                                     static_cast<double>(service));
+                    f.run.times.end += fe.duration;
+                    if (f.run.times.initDone > now)
+                        f.run.times.initDone += fe.duration;
+                    events.push({f.run.times.end, Event::Completion,
+                                 static_cast<std::size_t>(fe.device)});
+                    if (cluster.overlap() &&
+                        f.run.times.initDone > now &&
+                        f.run.times.initDone < f.run.times.end)
+                        events.push({f.run.times.initDone,
+                                     Event::DmaFree,
+                                     static_cast<std::size_t>(
+                                         fe.device)});
+                    if (f.run.times.end > budget_at)
+                        fire = std::min(fire,
+                                        std::max(budget_at, now + 1));
+                    clear = std::max(clear, f.run.times.end);
+                }
+                if (fire != kTimeNever) {
+                    events.push({fire, Event::DeviceDown,
+                                 static_cast<std::size_t>(fe.device)});
+                    events.push({std::max(clear, fire + 1),
+                                 Event::Recover,
+                                 static_cast<std::size_t>(fe.device)});
+                }
+                break;
+              }
+              case FaultKind::Slowdown:
+                cluster.setSlowdown(fe.device, fe.factor,
+                                    now + fe.duration);
+                break;
+              case FaultKind::DmaError: {
+                if (dev.health == DeviceHealth::Down)
+                    break;
+                // Abort the preload in flight right now, if any. The
+                // aborted run is provably the device's youngest
+                // commit (any later commit's preload would start
+                // after this one's initDone), so a one-deep undo on
+                // the cluster rolls the dispatch back exactly.
+                auto &runs = device_runs[static_cast<std::size_t>(
+                    fe.device)];
+                auto it = std::find_if(
+                    runs.begin(), runs.end(), [&](std::uint64_t id) {
+                        const auto &t = flight(id).run.times;
+                        return t.start <= now && now < t.initDone;
+                    });
+                if (it == runs.end())
+                    break; // transient error with no preload active
+                std::uint64_t id = *it;
+                runs.erase(it);
+                if (counters)
+                    ++counters->dmaAborts;
+                cluster.abortLastCommit(fe.device);
+                killRun(id, now);
+                flushWindow();
+                break;
+              }
+            }
+            break;
+          }
+          case Event::DeviceDown:
+            // Watchdog: a stalled run blew its timeout budget. The
+            // whole device is declared wedged — every in-flight run
+            // is killed and re-dispatched — but device memory is
+            // intact, so plan residency survives for the recovery.
+            if (cluster.devices()[ev.seq].health !=
+                DeviceHealth::Down) {
+                killAllOn(static_cast<int>(ev.seq), now,
+                          /*timeout=*/true);
+                cluster.markDown(static_cast<int>(ev.seq), now);
+                flushWindow();
+            }
+            break;
+          case Event::Recover:
+            // The stall wedge cleared; rejoin unless a real crash
+            // intervened (then only its Rejoin event recovers it).
+            if (cluster.devices()[ev.seq].health ==
+                    DeviceHealth::Down &&
+                !cluster.devices()[ev.seq].crashDown)
+                cluster.rejoin(static_cast<int>(ev.seq), now,
+                               recovery.probation);
+            break;
+          case Event::DmaFree:
+            // No state change; a DMA-free exists to wake the dispatch
+            // pass when a preload queue frees mid-compute.
+            break;
         }
-        // DMA-free events carry no state change; they exist to wake
-        // the dispatch pass when a preload queue frees mid-compute.
+
         if (ready.empty())
             continue;
-        // Drain simultaneous arrivals before dispatching, so the
-        // policy compares every request that is ready at this instant.
+        // Drain simultaneous fault/arrival/retry events before
+        // dispatching, so the policy compares every request that is
+        // ready at this instant against the settled cluster state.
         if (!events.empty() && events.top().time <= now &&
-            events.top().kind == Event::Arrival)
+            events.top().kind <= Event::Retry)
             continue;
 
         while (!ready.empty() && cluster.anyAccepting(now)) {
             // SLO admission pass (deadline-aware policies): requests
             // that can no longer meet their bound are shed here —
             // before selection — or stickily marked for degraded
-            // dispatch. The ready set is scanned in arrival order, so
-            // verdicts are deterministic.
+            // dispatch. Retried requests pass through the same gate,
+            // so a retry that cannot meet its deadline any more is
+            // shed instead of being retried forever. The ready set is
+            // scanned in arrival order, so verdicts are deterministic.
             for (std::size_t i = 0;
                  policy.needsAdmission() && i < ready.size();) {
                 auto verdict = policy.admit(now, ready[i]);
                 if (verdict == Admission::Shed) {
-                    onShed(ready[i], now);
+                    onDrop(ready[i], now, DropReason::Admission);
                     ready.erase(ready.begin() +
                                 static_cast<std::ptrdiff_t>(i));
                     continue;
@@ -154,7 +464,14 @@ drainClusterQueue(const std::vector<ModelRequest> &queue,
             ready.erase(ready.begin() +
                         static_cast<std::ptrdiff_t>(pick));
 
-            auto run = dispatch(picked, ready, now);
+            std::uint64_t run_id = next_run_id++;
+            auto run = dispatch(picked, ready, now, run_id);
+            if (counters && picked.attempts > 0 &&
+                run.device != picked.lastFailedDevice)
+                ++counters->failovers;
+            window.push_back({Flight::Live, picked, run});
+            device_runs[static_cast<std::size_t>(run.device)]
+                .push_back(run_id);
             if (cluster.overlap() &&
                 run.times.initDone < run.times.end)
                 events.push({run.times.initDone, Event::DmaFree,
@@ -162,6 +479,15 @@ drainClusterQueue(const std::vector<ModelRequest> &queue,
             events.push({run.times.end, Event::Completion,
                          static_cast<std::size_t>(run.device)});
         }
+    }
+
+    // Anything still queued when the event horizon is exhausted had
+    // no surviving device to run on: record the starvation instead of
+    // dropping the requests silently.
+    for (const auto &r : ready) {
+        if (counters)
+            ++counters->starved;
+        onDrop(r, now, DropReason::Starved);
     }
     return true;
 }

@@ -36,6 +36,13 @@ struct ReadyRequest
     /** Sticky degrade mark: once admission degrades a request it is
      * dispatched at the policy's degraded budget. */
     bool degraded = false;
+    /** @name Fault-recovery state (multidnn/faults.hh). @{ */
+    /** Dispatches of this request killed by a fault so far. */
+    int attempts = 0;
+    /** Device the most recent killed dispatch ran on (-1 = none);
+     * re-dispatches landing elsewhere count as failovers. */
+    int lastFailedDevice = -1;
+    /** @} */
 
     /** Absolute completion deadline (kTimeNever when unbounded). */
     SimTime deadline() const

@@ -148,25 +148,37 @@ EventScheduler::drain(DeviceCluster &cluster,
                       const std::vector<ModelRequest> &queue,
                       const SchedulingPolicy &policy,
                       const std::map<models::ModelId, SimTime> &estimates,
-                      const DispatchFn &dispatch)
+                      const DispatchFn &dispatch,
+                      const FaultPlan *faults,
+                      const RecoveryConfig &recovery)
 {
     ScheduleOutcome out;
     out.policy = policy.name();
     out.runs.reserve(queue.size());
+    // Results computed at dispatch, keyed by run id until the loop
+    // resolves the run: completions land in out.runs (in dispatch
+    // order — the loop delivers onComplete in run-id order), runs
+    // killed by a fault never do.
+    std::map<std::uint64_t, core::RunResult> pending;
 
     drainClusterQueue(
         queue, policy, cluster,
         [&](std::size_t seq) {
             const auto &req = queue[seq];
             auto est = estimates.find(req.model);
-            return ReadyRequest{seq, req.model, req.arrival,
-                                req.priority,
-                                est != estimates.end() ? est->second
-                                                       : 0,
-                                req.latencyBound};
+            ReadyRequest r;
+            r.queueIndex = seq;
+            r.model = req.model;
+            r.arrival = req.arrival;
+            r.priority = req.priority;
+            r.estimatedLatency =
+                est != estimates.end() ? est->second : 0;
+            r.latencyBound = req.latencyBound;
+            return r;
         },
         [&](const ReadyRequest &picked,
-            const std::vector<ReadyRequest> &ready, SimTime now) {
+            const std::vector<ReadyRequest> &ready, SimTime now,
+            std::uint64_t run_id) {
             // Co-resident working sets: the dispatched model plus
             // every distinct model still waiting in the ready set.
             std::vector<models::ModelId> distinct{picked.model};
@@ -182,18 +194,32 @@ EventScheduler::drain(DeviceCluster &cluster,
             d.run.latencyBound = picked.latencyBound;
             d.run.degraded = picked.degraded;
             d.run.device = d.device;
-            if (picked.degraded)
-                ++out.degradedRuns;
             DispatchedRun placed{d.device,
                                  {d.run.start, d.run.initDone,
                                   d.run.end}};
-            out.runs.push_back(std::move(d.run));
+            pending.emplace(run_id, std::move(d.run));
             return placed;
         },
-        [&](const ReadyRequest &r, SimTime now) {
+        [&](const ReadyRequest &picked, const DispatchedRun &run,
+            std::uint64_t run_id) {
+            auto it = pending.find(run_id);
+            FM_ASSERT(it != pending.end(),
+                      "completion for an unknown run id");
+            auto r = std::move(it->second);
+            pending.erase(it);
+            // A stall may have shifted the run while it was in
+            // flight; the loop's placed times are the actual ones.
+            r.initDone = run.times.initDone;
+            r.end = run.times.end;
+            if (picked.degraded)
+                ++out.degradedRuns;
+            out.runs.push_back(std::move(r));
+        },
+        [&](const ReadyRequest &r, SimTime now, DropReason reason) {
             out.shed.push_back({r.queueIndex, r.model, r.arrival,
-                                r.latencyBound, now});
-        });
+                                r.latencyBound, now, reason});
+        },
+        /*ready_limit=*/0, faults, recovery, &out.faults);
     return out;
 }
 
@@ -301,6 +327,7 @@ EventScheduler::run(const std::vector<ModelRequest> &queue,
 
     const bool memory_aware =
         policy.memoryAware() && cfg_.replanOnBudgetShift;
+    const bool faulty = !cfg_.faults.empty();
     DeviceCluster cluster(cfg_.cluster);
     std::vector<gpusim::GpuSimulator> sims;
     sims.reserve(static_cast<std::size_t>(cluster.deviceCount()));
@@ -327,17 +354,21 @@ EventScheduler::run(const std::vector<ModelRequest> &queue,
             const auto &cm = compiledFor(picked.model, budget,
                                          replan_acc);
             core::RunResult r;
-            if (!cluster.overlap()) {
+            if (!cluster.overlap() && !faulty) {
                 // Serialized device: the streamed execution runs on a
                 // fully idle simulator, so its own times are final.
                 r = fm_.execute(sim, cm, now);
             } else {
-                // Cross-request overlap: the run's timeline follows
-                // the cluster's two-resource model, with the measured
-                // solo init/exec split of this (model, budget). The
-                // execution on the device simulator keeps the memory
-                // and energy traces real (its kernels queue behind
-                // the previous run's on the shared compute timeline).
+                // Cross-request overlap and/or fault injection: the
+                // run's timeline follows the cluster's two-resource
+                // model, with the measured solo init/exec split of
+                // this (model, budget) — under faults this routes
+                // even the serialized device through planTimes, so
+                // slowdown scaling applies identically on both
+                // execution paths. The execution on the device
+                // simulator keeps the memory and energy traces real
+                // (its kernels queue behind the previous run's on the
+                // shared compute timeline).
                 const auto &prof =
                     profileFor(picked.model, budget, replan_acc);
                 auto t = cluster.planTimes(dev, now,
@@ -352,7 +383,8 @@ EventScheduler::run(const std::vector<ModelRequest> &queue,
             cluster.commit(dev, picked.model, budget,
                            {r.start, r.initDone, r.end});
             return {dev, std::move(r)};
-        });
+        },
+        faulty ? &cfg_.faults : nullptr, cfg_.recovery);
     summarize(sims, cluster, out);
     out.replans += replan_acc.replans;
     out.replanMemoHits += replan_acc.replanMemoHits;

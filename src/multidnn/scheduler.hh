@@ -34,6 +34,7 @@
 #include "baselines/preload_framework.hh"
 #include "core/flashmem.hh"
 #include "multidnn/device.hh"
+#include "multidnn/faults.hh"
 #include "multidnn/policies.hh"
 #include "multidnn/workload.hh"
 
@@ -62,6 +63,11 @@ struct SchedulerConfig
      * init/exec overlap (see multidnn/device.hh). The default is the
      * single serialized device of the original scheduler. */
     ClusterConfig cluster;
+    /** Deterministic fault schedule injected into the drain (empty =
+     * fault-free; see multidnn/faults.hh). */
+    FaultPlan faults;
+    /** Detection/retry knobs for recovering from injected faults. */
+    RecoveryConfig recovery;
 };
 
 /**
@@ -74,7 +80,9 @@ struct SchedulerConfig
 Bytes quantizeBudgetShare(Bytes share, const SchedulerConfig &cfg,
                           Bytes chunk_floor, Bytes mPeak);
 
-/** One request dropped by SLO admission (never dispatched). */
+/** One request dropped without completing: SLO admission (never
+ * dispatched), fault-retry budget exhausted, or starved when no
+ * device could ever accept it again. */
 struct ShedRecord
 {
     std::size_t queueIndex = 0;
@@ -82,6 +90,7 @@ struct ShedRecord
     SimTime arrival = 0;
     SimTime latencyBound = 0;
     SimTime shedAt = 0; ///< dispatch point at which it was dropped
+    DropReason reason = DropReason::Admission;
 };
 
 /** Outcome of draining one request queue. */
@@ -110,11 +119,15 @@ struct ScheduleOutcome
     /** @} */
 
     /** @name SLO admission (deadline-aware policies). @{ */
-    /** Requests dropped by admission, in shed order. */
+    /** Requests dropped without completing (admission, fault budget,
+     * starvation — see ShedRecord::reason), in drop order. */
     std::vector<ShedRecord> shed;
-    /** Runs dispatched at a degraded capacity budget. */
+    /** Completed runs that were dispatched at a degraded budget. */
     int degradedRuns = 0;
     /** @} */
+
+    /** Fault-recovery accounting (all zero on fault-free drains). */
+    FaultCounters faults;
 
     /** Per-device accounting: dispatch counts, plan switches, and
      * compute-/DMA-busy fractions over the makespan, so benches can
@@ -188,14 +201,18 @@ class EventScheduler
      * preload paths (multidnn/event_loop.hh): arrivals enter the ready
      * set, completions free device pipeline slots, @p policy picks on
      * every dispatch opportunity, @p dispatch places and executes the
-     * pick (and commits it to @p cluster).
+     * pick (and commits it to @p cluster). @p faults, when non-null,
+     * injects the deterministic fault schedule; killed dispatches are
+     * retried per @p recovery and never reach ScheduleOutcome::runs.
      */
     static ScheduleOutcome drain(
         DeviceCluster &cluster,
         const std::vector<ModelRequest> &queue,
         const SchedulingPolicy &policy,
         const std::map<models::ModelId, SimTime> &estimates,
-        const DispatchFn &dispatch);
+        const DispatchFn &dispatch,
+        const FaultPlan *faults = nullptr,
+        const RecoveryConfig &recovery = {});
 
     /** Finalize makespan/memory/energy/trace/per-device rows. */
     static void summarize(const std::vector<gpusim::GpuSimulator> &sims,

@@ -50,12 +50,18 @@ simulateImpl(const std::vector<ModelRequest> &trace,
             FM_ASSERT(it != primary.end(),
                       "simulateServing: model missing from the "
                       "service table");
-            return ReadyRequest{seq, req.model, req.arrival,
-                                req.priority, it->second.service,
-                                req.latencyBound};
+            ReadyRequest r;
+            r.queueIndex = seq;
+            r.model = req.model;
+            r.arrival = req.arrival;
+            r.priority = req.priority;
+            r.estimatedLatency = it->second.service;
+            r.latencyBound = req.latencyBound;
+            return r;
         },
         [&](const ReadyRequest &picked,
-            const std::vector<ReadyRequest> &, SimTime now) {
+            const std::vector<ReadyRequest> &, SimTime now,
+            std::uint64_t) {
             // Placement keys (capacity affinity) on the primary
             // table's plan budgets; dispatch times come from the
             // placed device's own table.
@@ -73,13 +79,6 @@ simulateImpl(const std::vector<ModelRequest> &trace,
             auto t = cluster.planTimes(dev, now, init, exec);
             cluster.commit(dev, picked.model, budget, t);
 
-            SimTime latency = t.end - picked.arrival;
-            bool met = picked.latencyBound <= 0 ||
-                       latency <= picked.latencyBound;
-            out.stats.recordCompletion(latency,
-                                       t.start - picked.arrival, met,
-                                       picked.degraded);
-            out.makespan = std::max(out.makespan, t.end);
             Bytes peak = picked.degraded ? profile.degradedPeakBytes
                                          : profile.peakBytes;
             out.peakMemory = std::max(out.peakMemory, peak);
@@ -87,8 +86,28 @@ simulateImpl(const std::vector<ModelRequest> &trace,
             dpeak = std::max(dpeak, peak);
             return DispatchedRun{dev, t};
         },
-        [&](const ReadyRequest &, SimTime) { out.stats.recordShed(); },
-        params.readyLimit);
+        [&](const ReadyRequest &req, const DispatchedRun &run,
+            std::uint64_t) {
+            // Stats are recorded when a run survives to completion —
+            // killed dispatches retry or shed instead — with the
+            // actual (possibly stall-shifted) timeline. The loop
+            // delivers completions in dispatch order, so the P²
+            // insertion order matches the real scheduler's
+            // dispatch-ordered runs exactly.
+            SimTime latency = run.times.end - req.arrival;
+            bool met = req.latencyBound <= 0 ||
+                       latency <= req.latencyBound;
+            out.stats.recordCompletion(latency,
+                                       run.times.start - req.arrival,
+                                       met, req.degraded);
+            out.makespan = std::max(out.makespan, run.times.end);
+        },
+        [&](const ReadyRequest &, SimTime, multidnn::DropReason) {
+            out.stats.recordShed();
+        },
+        params.readyLimit,
+        params.faults.empty() ? nullptr : &params.faults,
+        params.recovery, &out.faults);
 
     out.unstable = !stable;
     out.devices = cluster.utilization(out.makespan);

@@ -50,6 +50,12 @@ struct ServingSimParams
     /** Cluster shape: device count, placement, cross-request overlap
      * (mirrors multidnn::SchedulerConfig::cluster). */
     multidnn::ClusterConfig cluster;
+    /** Deterministic fault schedule (empty = fault-free), identical
+     * in shape to multidnn::SchedulerConfig::faults so a fast-sim run
+     * and a real EventScheduler run see the same timeline. */
+    multidnn::FaultPlan faults;
+    /** Detection/retry knobs for recovering from injected faults. */
+    multidnn::RecoveryConfig recovery;
 };
 
 /** Outcome of one simulated serving run. */
@@ -67,9 +73,12 @@ struct ServingOutcome
      * an unstable abort. */
     std::size_t submitted = 0;
     /** Per-device accounting (dispatch counts, plan switches,
-     * compute-/DMA-busy fractions, calibrated peak) — mirrors
-     * ScheduleOutcome::devices. */
+     * compute-/DMA-busy fractions, downtime, calibrated peak) —
+     * mirrors ScheduleOutcome::devices. */
     std::vector<multidnn::DeviceUtilization> devices;
+    /** Fault-recovery accounting (all zero on fault-free runs);
+     * fault-shed and starved requests also count in stats.shed. */
+    multidnn::FaultCounters faults;
 };
 
 /** Drain @p trace against calibrated @p services under @p policy

@@ -10,10 +10,14 @@
 #include <cmath>
 #include <vector>
 
+#include <atomic>
+#include <stdexcept>
+
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "common/types.hh"
 
 namespace flashmem {
@@ -294,6 +298,62 @@ TEST(Table, PadsShortRows)
     t.addRow({"x"});
     EXPECT_EQ(t.rowCount(), 1u);
     EXPECT_NE(t.toString().find("x"), std::string::npos);
+}
+
+TEST(ThreadPool, ThrowingTaskReachesWaiterAndPoolStaysUsable)
+{
+    ThreadPool pool(2);
+
+    auto bad = pool.submit([]() -> int {
+        throw std::runtime_error("task exploded");
+    });
+    EXPECT_THROW(
+        {
+            try {
+                bad.get();
+            } catch (const std::runtime_error &e) {
+                EXPECT_STREQ(e.what(), "task exploded");
+                throw;
+            }
+        },
+        std::runtime_error);
+
+    // The worker that ran the throwing task is still alive: the pool
+    // keeps draining work on all threads afterwards.
+    std::atomic<int> ran{0};
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([i, &ran]() {
+            ++ran;
+            return i * i;
+        }));
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+    EXPECT_EQ(ran.load(), 32);
+    EXPECT_EQ(pool.pendingTasks(), 0u);
+}
+
+TEST(ThreadPool, ManyThrowingTasksInterleavedWithGoodOnes)
+{
+    ThreadPool pool(3);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 60; ++i)
+        futures.push_back(pool.submit([i]() -> int {
+            if (i % 3 == 0)
+                throw std::logic_error("odd one out");
+            return i;
+        }));
+    int ok = 0, threw = 0;
+    for (auto &f : futures) {
+        try {
+            f.get();
+            ++ok;
+        } catch (const std::logic_error &) {
+            ++threw;
+        }
+    }
+    EXPECT_EQ(ok, 40);
+    EXPECT_EQ(threw, 20);
 }
 
 } // namespace

@@ -683,6 +683,118 @@ TEST(PlanMemo, LoadRejectsMissingCorruptAndWrongVersionFiles)
     std::remove(truncated.c_str());
 }
 
+TEST(PlanMemo, ChecksumRejectsBitFlipsAnywhere)
+{
+    const auto path = tempMemoPath("bitflip");
+    PlanMemo src(8);
+    src.store(0xAAAA, {10, 20, 30, 40}, 3);
+    src.store(0xBBBB, {-1, -2}, 1);
+    ASSERT_TRUE(src.saveToFile(path));
+
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    ASSERT_GT(bytes.size(), 16u);
+
+    // Flip every bit position past the magic+version header, one file
+    // at a time. Every flip must be rejected outright — the body is
+    // checksummed, so no corruption can load as a valid (let alone
+    // partial) plan. Flips inside magic/version are rejected by the
+    // header check, exercised by the wrong-version test above.
+    PlanMemo memo(8);
+    memo.store(1, {7}, 7);
+    for (std::size_t byte = 8; byte < bytes.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string mutated = bytes;
+            mutated[byte] = static_cast<char>(
+                static_cast<unsigned char>(mutated[byte]) ^
+                (1u << bit));
+            {
+                std::ofstream out(path,
+                                  std::ios::binary | std::ios::trunc);
+                out.write(mutated.data(),
+                          static_cast<std::streamsize>(
+                              mutated.size()));
+            }
+            EXPECT_FALSE(memo.loadFromFile(path))
+                << "flip at byte " << byte << " bit " << bit
+                << " loaded as valid";
+        }
+    }
+    // The survivor memo is untouched by all those rejected loads.
+    EXPECT_EQ(memo.size(), 1u);
+    EXPECT_TRUE(memo.lookup(1).has_value());
+    std::remove(path.c_str());
+}
+
+TEST(PlanMemo, FuzzedTruncationsAndGarbageColdStartCleanly)
+{
+    const auto path = tempMemoPath("fuzztrunc");
+    PlanMemo src(8);
+    src.store(0x1111, {1, 2, 3, 4, 5, 6, 7, 8}, 2);
+    src.store(0x2222, {9}, 4);
+    src.store(0x3333, {}, 0); // zero-length values vector is legal
+    ASSERT_TRUE(src.saveToFile(path));
+
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+
+    PlanMemo memo(8);
+    // Every proper prefix — including the zero-length file — must be
+    // rejected without crashing or partially loading.
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        {
+            std::ofstream out(path,
+                              std::ios::binary | std::ios::trunc);
+            out.write(bytes.data(),
+                      static_cast<std::streamsize>(len));
+        }
+        EXPECT_FALSE(memo.loadFromFile(path))
+            << "prefix of " << len << " bytes loaded as valid";
+        EXPECT_EQ(memo.size(), 0u);
+    }
+
+    // Random garbage files of assorted sizes, some starting with the
+    // real header so they get past the magic check.
+    Rng rng(0xF00D);
+    for (int trial = 0; trial < 64; ++trial) {
+        const auto len = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(
+                                  bytes.size() * 2)));
+        std::string junk(len, '\0');
+        for (auto &c : junk)
+            c = static_cast<char>(rng.next() & 0xFF);
+        if (trial % 2 == 0 && len >= 8)
+            junk.replace(0, 8, bytes, 0, 8); // genuine magic+version
+        {
+            std::ofstream out(path,
+                              std::ios::binary | std::ios::trunc);
+            out.write(junk.data(),
+                      static_cast<std::streamsize>(junk.size()));
+        }
+        EXPECT_FALSE(memo.loadFromFile(path))
+            << "garbage trial " << trial << " loaded as valid";
+        EXPECT_EQ(memo.size(), 0u);
+    }
+
+    // And the untouched original still loads fine afterwards.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    EXPECT_TRUE(memo.loadFromFile(path));
+    EXPECT_EQ(memo.size(), 3u);
+    std::remove(path.c_str());
+}
+
 TEST(PlanMemo, FileBackedMemoPersistsAcrossInstances)
 {
     const auto path = tempMemoPath("lifecycle");

@@ -698,5 +698,313 @@ TEST(FifoScheduler, ThinWrapperMatchesEventScheduler)
     }
 }
 
+// ------------------------------------------------------ fault injection
+
+TEST(Faults, PlanGeneratorIsSeededAndDeviceStable)
+{
+    FaultPlanParams p;
+    p.crashesPerSecond = 2.0;
+    p.stallsPerSecond = 3.0;
+    p.slowdownsPerSecond = 1.0;
+    p.dmaErrorsPerSecond = 2.0;
+
+    auto a = generateFaultPlan(p, 4, seconds(10), 99);
+    auto b = generateFaultPlan(p, 4, seconds(10), 99);
+    ASSERT_FALSE(a.empty());
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+        EXPECT_EQ(a.events[i].time, b.events[i].time);
+        EXPECT_EQ(a.events[i].device, b.events[i].device);
+        EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+        EXPECT_EQ(a.events[i].duration, b.events[i].duration);
+        EXPECT_EQ(a.events[i].factor, b.events[i].factor);
+    }
+
+    // Events are sorted, on valid devices, and every crash has its
+    // rejoin later on the same device.
+    std::map<int, int> crash_balance;
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+        const auto &e = a.events[i];
+        EXPECT_GE(e.device, 0);
+        EXPECT_LT(e.device, 4);
+        if (i > 0) {
+            EXPECT_LE(a.events[i - 1].time, e.time);
+        }
+        if (e.kind == FaultKind::Crash) {
+            EXPECT_EQ(crash_balance[e.device], 0);
+            ++crash_balance[e.device];
+        } else if (e.kind == FaultKind::Rejoin) {
+            EXPECT_EQ(crash_balance[e.device], 1);
+            --crash_balance[e.device];
+        }
+    }
+
+    // Growing the cluster never shifts an existing device's timeline:
+    // the 8-device plan restricted to devices 0-3 is exactly the
+    // 4-device plan (independent per-device streams).
+    auto c = generateFaultPlan(p, 8, seconds(10), 99);
+    std::vector<FaultEvent> low;
+    for (const auto &e : c.events) {
+        if (e.device < 4)
+            low.push_back(e);
+    }
+    ASSERT_EQ(low.size(), a.events.size());
+    for (std::size_t i = 0; i < low.size(); ++i) {
+        EXPECT_EQ(low[i].time, a.events[i].time);
+        EXPECT_EQ(low[i].device, a.events[i].device);
+        EXPECT_EQ(low[i].kind, a.events[i].kind);
+    }
+
+    // A different seed produces a different schedule.
+    auto d = generateFaultPlan(p, 4, seconds(10), 100);
+    bool differs = d.events.size() != a.events.size();
+    for (std::size_t i = 0; !differs && i < a.events.size(); ++i)
+        differs = a.events[i].time != d.events[i].time;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Faults, ClusterHealthStateMachine)
+{
+    ClusterConfig cc;
+    cc.deviceCount = 2;
+    cc.overlapInitWithExec = true;
+    DeviceCluster cluster(cc);
+
+    // A healthy overlap device pipelines two requests.
+    auto t = cluster.planTimes(0, 0, milliseconds(2), milliseconds(10));
+    cluster.commit(0, ModelId::ResNet50, mib(512), t);
+    EXPECT_TRUE(cluster.canAccept(0, t.initDone));
+
+    // Crash: Down, nothing accepted, plan residency wiped.
+    cluster.crash(0, milliseconds(5));
+    const auto &d0 = cluster.devices()[0];
+    EXPECT_EQ(d0.health, DeviceHealth::Down);
+    EXPECT_TRUE(d0.crashDown);
+    EXPECT_FALSE(cluster.canAccept(0, milliseconds(6)));
+    EXPECT_TRUE(d0.residentPlanBudget.empty());
+    EXPECT_TRUE(cluster.anyAccepting(milliseconds(6))); // device 1
+
+    // Rejoin: Suspect, probation caps the pipeline at depth 1.
+    cluster.rejoin(0, milliseconds(105), /*probation=*/milliseconds(50));
+    EXPECT_EQ(d0.health, DeviceHealth::Suspect);
+    EXPECT_EQ(d0.downTime, milliseconds(100));
+    EXPECT_TRUE(cluster.canAccept(0, milliseconds(110)));
+    auto t2 = cluster.planTimes(0, milliseconds(110), milliseconds(2),
+                                milliseconds(10));
+    cluster.commit(0, ModelId::ResNet50, mib(512), t2);
+    // Inside probation: one in flight saturates the probe.
+    EXPECT_FALSE(cluster.canAccept(0, milliseconds(113)));
+    // Past probation: full overlap depth again.
+    EXPECT_TRUE(cluster.canAccept(0, milliseconds(160)));
+    cluster.complete(0);
+
+    // Slowdown scales only dispatches placed inside the window.
+    cluster.setSlowdown(1, 2.0, milliseconds(300));
+    auto s = cluster.planTimes(1, milliseconds(200), milliseconds(2),
+                               milliseconds(10));
+    EXPECT_EQ(s.initDone - s.start, milliseconds(4));
+    EXPECT_EQ(s.end - s.initDone, milliseconds(20));
+    auto s2 = cluster.planTimes(1, milliseconds(300), milliseconds(2),
+                                milliseconds(10));
+    EXPECT_EQ(s2.end - s2.start, milliseconds(12));
+
+    // Stall shifts an idle device's horizons to now + duration.
+    cluster.delay(1, milliseconds(400), milliseconds(50));
+    EXPECT_EQ(cluster.devices()[1].computeBusyUntil, milliseconds(450));
+    EXPECT_EQ(cluster.devices()[1].dmaBusyUntil, milliseconds(450));
+
+    // A transient DMA abort rolls the youngest commit back exactly.
+    const auto &d1 = cluster.devices()[1];
+    auto dispatched_before = d1.dispatched;
+    auto switches_before = d1.planSwitches;
+    auto t3 = cluster.planTimes(1, milliseconds(500), milliseconds(2),
+                                milliseconds(10));
+    cluster.commit(1, ModelId::ResNet50, mib(512), t3);
+    EXPECT_EQ(d1.inFlight, 1);
+    cluster.abortLastCommit(1);
+    EXPECT_EQ(d1.inFlight, 0);
+    EXPECT_EQ(d1.dispatched, dispatched_before);
+    EXPECT_EQ(d1.planSwitches, switches_before);
+    EXPECT_EQ(d1.computeBusyUntil, milliseconds(450));
+    EXPECT_EQ(d1.dmaBusyUntil, milliseconds(450));
+    EXPECT_EQ(d1.residentPlanBudget.count(ModelId::ResNet50), 0u);
+
+    // Downtime accounting covers a still-open Down interval.
+    cluster.markDown(1, milliseconds(500));
+    auto rows = cluster.utilization(milliseconds(600));
+    EXPECT_EQ(rows[0].downTime, milliseconds(100));
+    EXPECT_DOUBLE_EQ(rows[0].downFraction, 100.0 / 600.0);
+    EXPECT_EQ(rows[1].downTime, milliseconds(100)); // 500 -> 600 open
+}
+
+TEST(Faults, CrashMidRunFailsOverToSurvivingDevice)
+{
+    FlashMem fm(DeviceProfile::onePlus12());
+    std::vector<ModelRequest> queue{{ModelId::ResNet50, 0, 0, 0},
+                                    {ModelId::ResNet50, 0, 0, 0}};
+
+    SchedulerConfig cfg;
+    cfg.cluster.deviceCount = 2;
+    cfg.faults = singleCrash(0, /*at=*/1); // 1 ns in: mid-first-run
+    EventScheduler sched(fm, cfg);
+    auto out = sched.run(queue, FifoPolicy{});
+
+    // The killed dispatch retried on the survivor; nothing was lost.
+    ASSERT_EQ(out.runs.size(), 2u);
+    EXPECT_TRUE(out.shed.empty());
+    EXPECT_EQ(out.faults.crashes, 1);
+    EXPECT_EQ(out.faults.retries, 1);
+    EXPECT_EQ(out.faults.failovers, 1);
+    EXPECT_EQ(out.faults.faultSheds, 0);
+    EXPECT_EQ(out.faults.timeouts, 0);
+    for (const auto &r : out.runs)
+        EXPECT_EQ(r.device, 1);
+    // The retry waited out its backoff before re-dispatching.
+    EXPECT_GE(out.runs.back().start,
+              1 + cfg.recovery.backoffBase);
+    // The dead device's outage is accounted until the makespan.
+    ASSERT_EQ(out.devices.size(), 2u);
+    EXPECT_EQ(out.devices[0].downTime, out.makespan - 1);
+    EXPECT_GT(out.devices[0].downFraction, 0.9);
+}
+
+TEST(Faults, StallWithinBudgetCompletesLateNotKilled)
+{
+    FlashMem fm(DeviceProfile::onePlus12());
+    std::vector<ModelRequest> queue{{ModelId::ResNet50, 0, 0, 0}};
+
+    // Fault-free reference (forced through the fault dispatch route
+    // by an inert far-future fault, so timing rules are identical).
+    SchedulerConfig ref_cfg;
+    ref_cfg.faults = singleStall(0, seconds(1000), 1);
+    EventScheduler ref_sched(fm, ref_cfg);
+    auto ref = ref_sched.run(queue, FifoPolicy{});
+    ASSERT_EQ(ref.runs.size(), 1u);
+    const SimTime service = ref.runs[0].end - ref.runs[0].start;
+
+    // A stall shorter than the timeout slack shifts the completion by
+    // exactly its duration — no watchdog, no retry.
+    const SimTime stall = service; // 2x service < 3x budget
+    SchedulerConfig cfg;
+    cfg.faults = singleStall(0, /*at=*/1, stall);
+    EventScheduler sched(fm, cfg);
+    auto out = sched.run(queue, FifoPolicy{});
+
+    ASSERT_EQ(out.runs.size(), 1u);
+    EXPECT_EQ(out.runs[0].end, ref.runs[0].end + stall);
+    EXPECT_EQ(out.faults.timeouts, 0);
+    EXPECT_EQ(out.faults.retries, 0);
+    EXPECT_EQ(out.devices[0].downTime, 0);
+}
+
+TEST(Faults, StallBeyondBudgetTriggersWatchdogFailover)
+{
+    FlashMem fm(DeviceProfile::onePlus12());
+    std::vector<ModelRequest> queue{{ModelId::ResNet50, 0, 0, 0}};
+
+    SchedulerConfig cfg;
+    cfg.cluster.deviceCount = 2;
+    // A multi-second wedge blows the 3x timeout budget of any model.
+    cfg.faults = singleStall(0, /*at=*/1, seconds(5));
+    EventScheduler sched(fm, cfg);
+    auto out = sched.run(queue, FifoPolicy{});
+
+    ASSERT_EQ(out.runs.size(), 1u);
+    EXPECT_EQ(out.runs[0].device, 1); // failed over to the survivor
+    EXPECT_EQ(out.faults.timeouts, 1);
+    EXPECT_EQ(out.faults.retries, 1);
+    EXPECT_EQ(out.faults.failovers, 1);
+    EXPECT_EQ(out.faults.crashes, 0); // wedged, not crashed
+    EXPECT_TRUE(out.shed.empty());
+    EXPECT_GT(out.devices[0].downTime, 0);
+    // The watchdog fired at the blown budget, well before the wedge
+    // cleared, so the retry did not wait out the whole stall.
+    EXPECT_LT(out.runs[0].end, seconds(5));
+}
+
+TEST(Faults, RetryBudgetExhaustionFaultSheds)
+{
+    FlashMem fm(DeviceProfile::onePlus12());
+    std::vector<ModelRequest> queue{{ModelId::ResNet50, 0, 0, 0}};
+
+    SchedulerConfig cfg;
+    cfg.faults = singleCrash(0, /*at=*/1);
+    cfg.recovery.maxRetries = 0; // first kill exhausts the budget
+    EventScheduler sched(fm, cfg);
+    auto out = sched.run(queue, FifoPolicy{});
+
+    EXPECT_TRUE(out.runs.empty());
+    ASSERT_EQ(out.shed.size(), 1u);
+    EXPECT_EQ(out.shed[0].reason, DropReason::FaultBudget);
+    EXPECT_EQ(out.faults.faultSheds, 1);
+    EXPECT_EQ(out.faults.retries, 0);
+    EXPECT_EQ(out.goodput(), 0u);
+}
+
+TEST(Faults, StarvedRequestsAreRecordedNotSilentlyDropped)
+{
+    FlashMem fm(DeviceProfile::onePlus12());
+    std::vector<ModelRequest> queue{
+        {ModelId::ResNet50, 0, 0, 0},
+        {ModelId::ResNet50, milliseconds(1), 0, 0}};
+
+    // The only device crashes and never rejoins: the in-flight run's
+    // retry and the queued arrival both end the drain starved.
+    SchedulerConfig cfg;
+    cfg.faults = singleCrash(0, /*at=*/1);
+    EventScheduler sched(fm, cfg);
+    auto out = sched.run(queue, FifoPolicy{});
+
+    EXPECT_TRUE(out.runs.empty());
+    ASSERT_EQ(out.shed.size(), 2u);
+    for (const auto &s : out.shed)
+        EXPECT_EQ(s.reason, DropReason::Starved);
+    EXPECT_EQ(out.faults.starved, 2);
+    EXPECT_EQ(out.faults.crashes, 1);
+    EXPECT_EQ(out.faults.retries, 1); // the kill scheduled one retry
+}
+
+TEST(Faults, FlappingDeviceNeverDeadlocksOrLosesRequests)
+{
+    FlashMem fm(DeviceProfile::onePlus12());
+    std::vector<ModelRequest> queue;
+    for (int i = 0; i < 8; ++i)
+        queue.push_back(
+            {ModelId::ResNet50, i * milliseconds(5), 0, 0});
+
+    SchedulerConfig cfg;
+    cfg.cluster.deviceCount = 2;
+    cfg.faults = flappingDevice(0, /*firstCrash=*/milliseconds(2),
+                                /*period=*/milliseconds(40),
+                                /*downFor=*/milliseconds(20),
+                                /*cycles=*/5);
+    EventScheduler sched(fm, cfg);
+    auto out = sched.run(queue, FifoPolicy{});
+
+    // Terminates (no deadlock) with every request accounted for:
+    // completed, fault-shed, or starved — never vanished.
+    EXPECT_EQ(out.runs.size() + out.shed.size(), queue.size());
+    EXPECT_GE(out.faults.crashes, 2);
+    for (const auto &s : out.shed)
+        EXPECT_NE(s.reason, DropReason::Admission); // FIFO never sheds
+    // Flap downtime is accounted on the flapping device only.
+    EXPECT_GT(out.devices[0].downTime, 0);
+    EXPECT_EQ(out.devices[1].downTime, 0);
+}
+
+TEST(Faults, StuckClockGuardPanicsLoudly)
+{
+    FlashMem fm(DeviceProfile::onePlus12());
+    // Three simultaneous arrivals share one instant; a stuck limit of
+    // one event per instant trips the guard deterministically.
+    std::vector<ModelRequest> queue{{ModelId::ResNet50, 0, 0, 0},
+                                    {ModelId::ResNet50, 0, 0, 0},
+                                    {ModelId::ResNet50, 0, 0, 0}};
+    SchedulerConfig cfg;
+    cfg.recovery.stuckEventLimit = 1;
+    EventScheduler sched(fm, cfg);
+    EXPECT_DEATH(sched.run(queue, FifoPolicy{}), "event loop stuck");
+}
+
 } // namespace
 } // namespace flashmem::multidnn

@@ -755,6 +755,163 @@ TEST(Calibration, OverlapCrossValidatesAgainstEventScheduler)
     EXPECT_TRUE(overlapped);
 }
 
+// ------------------------------------------------- fault tolerance
+
+TEST(FaultServing, RetryAfterFailoverStillMeetsBoundAndCountsGoodput)
+{
+    // A request that fails once but can still make its deadline after
+    // the failover completes within bound and counts toward goodput.
+    std::vector<ModelRequest> trace{
+        {ModelId::ResNet50, 0, 0, milliseconds(100)}};
+    ServingSimParams params;
+    params.cluster.deviceCount = 2;
+    params.faults = multidnn::singleCrash(0, milliseconds(2));
+    auto out =
+        simulateServing(trace, DeadlinePolicy{}, handTable(), params);
+
+    EXPECT_EQ(out.stats.completed(), 1u);
+    EXPECT_EQ(out.stats.shedCount(), 0u);
+    EXPECT_EQ(out.stats.goodput(), 1u);
+    EXPECT_EQ(out.faults.crashes, 1);
+    EXPECT_EQ(out.faults.retries, 1);
+    EXPECT_EQ(out.faults.failovers, 1);
+    // Killed at 2 ms, backed off 1 ms, re-served in 10 ms on the
+    // surviving device: 13 ms total, within the 100 ms bound.
+    EXPECT_EQ(out.makespan, milliseconds(13));
+    ASSERT_EQ(out.devices.size(), 2u);
+    EXPECT_EQ(out.devices[1].dispatched, 1u);
+}
+
+TEST(FaultServing, DoomedRetryIsShedNotRetriedForever)
+{
+    // Feasible at arrival (10 ms service vs 12 ms bound), but the
+    // crash burns the slack: the retry re-enters admission, which
+    // sheds it instead of bouncing it between dead dispatches.
+    std::vector<ModelRequest> trace{
+        {ModelId::ResNet50, 0, 0, milliseconds(12)}};
+    ServingSimParams params;
+    params.cluster.deviceCount = 2;
+    params.faults = multidnn::singleCrash(0, milliseconds(2));
+    auto out =
+        simulateServing(trace, DeadlinePolicy{}, handTable(), params);
+
+    EXPECT_EQ(out.stats.completed(), 0u);
+    EXPECT_EQ(out.stats.shedCount(), 1u);
+    EXPECT_EQ(out.faults.retries, 1);    // one re-dispatch attempt
+    EXPECT_EQ(out.faults.faultSheds, 0); // admission shed it, not the
+                                         // retry budget
+    EXPECT_EQ(out.stats.goodput(), 0u);
+}
+
+TEST(FaultServing, FaultCountersRideTheOutcome)
+{
+    // A slowdown window stretches every dispatch inside it; the run
+    // still completes (no retries) and the outcome says so.
+    std::vector<ModelRequest> trace{{ModelId::ResNet50, 0, 0, 0}};
+    ServingSimParams params;
+    params.faults = multidnn::singleSlowdown(0, 0, milliseconds(100),
+                                             /*factor=*/3.0);
+    auto out =
+        simulateServing(trace, FifoPolicy{}, handTable(), params);
+    EXPECT_EQ(out.stats.completed(), 1u);
+    EXPECT_EQ(out.makespan, milliseconds(30)); // 10 ms x 3
+    EXPECT_EQ(out.faults.retries, 0);
+    EXPECT_EQ(out.faults.crashes, 0);
+}
+
+TEST(FaultServing, CrossValidatesAgainstEventSchedulerUnderFaults)
+{
+    // The tentpole invariant: with an injected fault schedule, the
+    // fast simulator and the real EventScheduler run the SAME shared
+    // event loop over the SAME cluster state machine, so their entire
+    // observable outcome — completions, sheds, retries, failovers,
+    // per-request latency order (held via the order-sensitive P²
+    // estimators), per-device dispatch counts and downtime — must
+    // agree exactly at scale, faults included.
+    core::FlashMem fm(gpusim::DeviceProfile::onePlus12());
+    ModelMix mix;
+    // Bounded and unbounded flavors: bounded requests exercise the
+    // retry-vs-readmission interplay (a doomed retry is shed), the
+    // unbounded share guarantees surviving failover dispatches.
+    mix.entries = {{ModelId::ResNet50, 2.0, milliseconds(150), 0},
+                   {ModelId::DepthAnythingS, 1.0, milliseconds(400),
+                    0},
+                   {ModelId::ResNet50, 1.0, 0, 0}};
+    auto services = calibrateServices(fm, mix.distinctModels());
+
+    auto trace = poissonTrace(mix, 60.0, 2500, /*seed=*/61);
+
+    // A mixed schedule: a mid-run crash with rejoin, a thermal
+    // slowdown, a watchdog-tripping stall, and a seeded background of
+    // stalls and transient DMA errors on both devices.
+    multidnn::FaultPlanParams fp;
+    fp.stallsPerSecond = 0.5;
+    fp.meanStall = milliseconds(40);
+    fp.dmaErrorsPerSecond = 1.0;
+    auto plan = multidnn::crashAndRejoin(0, milliseconds(500),
+                                         milliseconds(400));
+    plan = multidnn::mergeFaultPlans(
+        plan, multidnn::singleSlowdown(1, milliseconds(200),
+                                       milliseconds(600), 3.0));
+    plan = multidnn::mergeFaultPlans(
+        plan,
+        multidnn::singleStall(1, seconds(2), seconds(3)));
+    plan = multidnn::mergeFaultPlans(
+        plan, multidnn::generateFaultPlan(fp, 2, seconds(30), 7));
+
+    multidnn::DeadlinePolicy policy;
+    ServingSimParams params;
+    params.readyLimit = 0;
+    params.cluster.deviceCount = 2;
+    params.cluster.overlapInitWithExec = true;
+    params.faults = plan;
+    auto fast = simulateServing(trace, policy, services, params);
+
+    multidnn::SchedulerConfig cfg;
+    cfg.cluster.deviceCount = 2;
+    cfg.cluster.overlapInitWithExec = true;
+    cfg.faults = plan;
+    multidnn::EventScheduler sched(fm, cfg);
+    auto real = sched.run(trace, policy);
+    auto real_stats = ServingStats::fromOutcome(real);
+
+    // The faults actually bit: kills, retries, failovers, downtime.
+    ASSERT_GT(real.runs.size(), 1000u);
+    ASSERT_GT(real.faults.crashes, 0);
+    ASSERT_GT(real.faults.retries, 0);
+    ASSERT_GT(real.faults.failovers, 0);
+
+    EXPECT_EQ(real.runs.size(), fast.stats.completed());
+    EXPECT_EQ(real.shed.size(), fast.stats.shedCount());
+    EXPECT_EQ(real.goodput(), fast.stats.goodput());
+    EXPECT_EQ(real.makespan, fast.makespan);
+    EXPECT_EQ(real_stats.p50(), fast.stats.p50());
+    EXPECT_EQ(real_stats.p95(), fast.stats.p95());
+    EXPECT_EQ(real_stats.p99(), fast.stats.p99());
+    EXPECT_DOUBLE_EQ(real_stats.meanLatencyMs(),
+                     fast.stats.meanLatencyMs());
+
+    EXPECT_EQ(real.faults.crashes, fast.faults.crashes);
+    EXPECT_EQ(real.faults.timeouts, fast.faults.timeouts);
+    EXPECT_EQ(real.faults.dmaAborts, fast.faults.dmaAborts);
+    EXPECT_EQ(real.faults.retries, fast.faults.retries);
+    EXPECT_EQ(real.faults.failovers, fast.faults.failovers);
+    EXPECT_EQ(real.faults.faultSheds, fast.faults.faultSheds);
+    EXPECT_EQ(real.faults.starved, fast.faults.starved);
+
+    ASSERT_EQ(real.devices.size(), 2u);
+    ASSERT_EQ(fast.devices.size(), 2u);
+    for (int d = 0; d < 2; ++d) {
+        EXPECT_EQ(real.devices[d].dispatched,
+                  fast.devices[d].dispatched);
+        EXPECT_EQ(real.devices[d].downTime, fast.devices[d].downTime);
+        EXPECT_EQ(real.devices[d].computeBusyTime,
+                  fast.devices[d].computeBusyTime);
+        EXPECT_EQ(real.devices[d].dmaBusyTime,
+                  fast.devices[d].dmaBusyTime);
+    }
+}
+
 TEST(Sweep, DeviceCountsScaleThroughput)
 {
     ModelMix mix;

@@ -17,6 +17,11 @@ snapshot:
   - any serving policy's p95 request latency worsens by more than 10%,
     its goodput drops by more than 2 points, or its max sustainable
     QPS drops by more than 10%, or
+  - the serving_faults section loses a fault scenario, any scenario's
+    goodput drops by more than 2 points or its p99 worsens by more
+    than 10%, a fresh-run scenario stops accounting for every
+    submitted request, or the mid-run-crash goodput ratio falls below
+    0.65 of fault-free (the "crash costs < 35% goodput" bound), or
   - the serving_sharding section loses a (device count, overlap)
     operating point, any point's max sustainable QPS drops by more
     than 10%, the 4-device scaling efficiency regresses by more than
@@ -190,6 +195,59 @@ def main() -> int:
                    else "the fresh run"))
         check_keyed_rows("serving policy", "policy", old_serving,
                          new_serving, failures, serving_check)
+
+    # Fault tolerance: goodput/p99 per injected-fault scenario, the
+    # every-request-accounted invariant, and the mid-run-crash
+    # goodput bound. Losing a scenario is lost coverage.
+    if "serving_faults" not in old or "serving_faults" not in new:
+        side = ("both snapshots"
+                if "serving_faults" not in old and
+                "serving_faults" not in new else
+                "the committed snapshot"
+                if "serving_faults" not in old else "the fresh run")
+        failures.append(f"serving_faults missing from {side}")
+    else:
+        def fault_check(name, old_row, new_row):
+            for field in ("goodput", "p99_ms", "accounting_complete"):
+                if field not in old_row or field not in new_row:
+                    failures.append(
+                        f"fault scenario {name}: {field} missing")
+                    return
+            if not new_row["accounting_complete"]:
+                failures.append(
+                    f"fault scenario {name}: a submitted request was "
+                    "neither completed nor shed with a reason")
+            if new_row["goodput"] < old_row["goodput"] - GOODPUT_TOLERANCE:
+                failures.append(
+                    f"fault scenario {name}: goodput dropped"
+                    f" {old_row['goodput']:.3f} ->"
+                    f" {new_row['goodput']:.3f} (> 2 points)")
+            if new_row["p99_ms"] > LATENCY_TOLERANCE * old_row["p99_ms"]:
+                failures.append(
+                    f"fault scenario {name}: p99 worsened"
+                    f" {old_row['p99_ms']:.1f} ->"
+                    f" {new_row['p99_ms']:.1f} ms (> 10%)")
+
+        old_faults = old["serving_faults"].get("scenarios", [])
+        new_faults = new["serving_faults"].get("scenarios", [])
+        if not old_faults or not new_faults:
+            failures.append(
+                "serving_faults has no scenarios in "
+                + ("the committed snapshot" if not old_faults
+                   else "the fresh run"))
+        check_keyed_rows("fault scenario", "scenario", old_faults,
+                         new_faults, failures, fault_check)
+
+        ratio = new["serving_faults"].get("crash_goodput_ratio")
+        if ratio is None:
+            failures.append(
+                "crash_goodput_ratio missing from the fresh run")
+        elif ratio < 0.65:
+            failures.append(
+                "mid-run crash now costs more than 35% goodput "
+                f"vs fault-free (ratio {ratio:.3f} < 0.65)")
+        else:
+            print(f"crash goodput ratio: {ratio:.3f}")
 
     # Device sharding: the scaling curve over device counts and the
     # cross-request overlap demo. Missing device counts are lost
