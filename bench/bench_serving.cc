@@ -28,6 +28,16 @@
  * streamed preload overlaps the previous request's compute.
  * `--sharding-determinism` repeats the study at (1,1) vs (4,4)
  * planner/pool threads and fails on any bit difference.
+ *
+ * The admission study (`serving_admission` JSON section) compares
+ * dispatch-point-only admission against the arrival-time backlog gate
+ * (serving/admission.hh) at 2x overload on the 4-device overlap
+ * cluster, then repeats under a cold-model influx (25% of arrivals
+ * from models calibration never saw) with the gate on a
+ * fully-calibrated oracle estimator vs the deployed warm-only view
+ * whose cold estimates ride the GBT predicted tier.
+ * `--admission-only PATH` runs just this study and writes a
+ * standalone fragment for tools/run_benchmarks.sh `--only admission`.
  */
 
 #include "bench/harness.hh"
@@ -38,6 +48,7 @@
 #include <sstream>
 
 #include "common/thread_pool.hh"
+#include "serving/admission.hh"
 #include "serving/sweep.hh"
 
 namespace {
@@ -350,6 +361,289 @@ runFaultStudy(const Arm &arm)
     return out;
 }
 
+// --------------------------------------------------- admission study
+
+/** Requests per admission scenario (fast sim). */
+constexpr std::size_t kAdmissionRequests = 200000;
+constexpr int kAdmissionDevices = 4;
+/** Offered load vs the cluster's aggregate calibrated capacity. */
+constexpr double kAdmissionOverload = 2.0;
+/** Fraction of arrivals drawn from the cold (uncalibrated) models. */
+constexpr double kAdmissionColdFraction = 0.25;
+/** Bound on how much goodput the predicted-tier gate may give up vs
+ * the fully-calibrated oracle gate under cold-model influx. */
+constexpr double kColdGapBound = 0.15;
+
+/** One admission scenario on the 4-device overlap cluster. */
+struct AdmissionFigures
+{
+    std::string scenario;
+    serving::ServingOutcome outcome;
+    /** Gate decision counters (zero when ungated). */
+    serving::AdmissionDecisions decisions;
+    std::size_t submitted = 0;
+    bool gated = false;
+    /** completed + shed == submitted: no request vanished. */
+    bool accountingComplete = false;
+};
+
+/** The admission study's scenarios plus the estimator's vitals. */
+struct AdmissionStudy
+{
+    std::vector<AdmissionFigures> scenarios;
+    /** Warm + cold calibrated (what execution always prices with). */
+    serving::ServiceTable oracle;
+    /** Uniform product-tier SLO bound stamped on every request. */
+    SimTime sloBound = 0;
+    /** Predicted-tier vitals of the warm-only serving view. */
+    double viewInflation = 1.0;
+    bool viewPredictorTrained = false;
+    std::size_t warmCalibrated = 0;
+};
+
+/**
+ * Arrival-time admission study: the same 2x-overload deadline-policy
+ * traces on the 4-device overlap cluster, with and without the
+ * arrival-time backlog gate (serving/admission.hh), then under a
+ * cold-model influx (a quarter of arrivals from models calibration
+ * never saw) with the gate running on a fully-calibrated oracle
+ * estimator vs the deployed warm-only view whose cold estimates come
+ * from the GBT predicted tier.
+ *
+ * The SLO is a single product-tier bound for every model (slack x the
+ * slowest oracle service): per-model proportional bounds would hand
+ * expensive models proportionally more slack, and under overload a
+ * feasibility gate then shifts the served mix toward expensive
+ * requests — the goodput comparison would measure the mix shift, not
+ * the gate. A uniform bound makes deadline order arrival order, so
+ * gated-vs-ungated is a pure timing comparison.
+ */
+AdmissionStudy
+runAdmissionStudy(const Arm &arm, core::PlanMemo &memo,
+                  int planner_threads)
+{
+    // Oracle calibration of the cold models the warm table never saw
+    // (same device profile / memo as the warm arm, so the merged table
+    // is what one calibration pass over all six models would yield).
+    auto dev = gpusim::DeviceProfile::onePlus12();
+    core::FlashMemOptions opt;
+    opt.opg.parallel.threads = planner_threads;
+    opt.opg.memo = &memo;
+    core::FlashMem fm(dev, opt);
+    const std::vector<models::ModelId> cold_models = {
+        ModelId::DeepViT, ModelId::DepthAnythingL};
+    auto cold_services = serving::calibrateServices(
+        fm, cold_models, /*degrade_budget_fraction=*/0.5);
+
+    AdmissionStudy study;
+    study.oracle = arm.services;
+    for (const auto &[model, profile] : cold_services)
+        study.oracle.emplace(model, profile);
+
+    SimTime slowest = 0;
+    for (const auto &[model, profile] : study.oracle)
+        slowest = std::max(slowest, profile.service);
+    study.sloBound = static_cast<SimTime>(
+        kSloSlack * static_cast<double>(slowest));
+
+    serving::ModelMix warm = arm.mix;
+    for (auto &e : warm.entries)
+        e.latencyBound = study.sloBound;
+    std::vector<serving::ModelMix::Entry> cold_entries;
+    for (auto model : cold_models)
+        cold_entries.push_back({model, 1.0, study.sloBound, 0});
+    auto cold = serving::withColdInflux(warm, cold_entries,
+                                        kAdmissionColdFraction);
+
+    // Offered load: the overload factor times the cluster's aggregate
+    // capacity against the mix actually offered (the cold mix is
+    // heavier per request, so its QPS is recomputed, not reused).
+    auto overloadQps = [&](const serving::ModelMix &mix) {
+        std::vector<std::pair<models::ModelId, double>> weights;
+        for (const auto &e : mix.entries)
+            weights.emplace_back(e.model, e.weight);
+        return kAdmissionOverload * kAdmissionDevices /
+               toSeconds(serving::meanService(study.oracle, weights));
+    };
+    auto warm_trace = serving::poissonTrace(
+        warm, overloadQps(warm), kAdmissionRequests, kTraceSeed);
+    auto cold_trace = serving::poissonTrace(
+        cold, overloadQps(cold), kAdmissionRequests, kTraceSeed);
+
+    // Estimators: the oracle view calibrates everything; the serving
+    // view knows only the warm table, so the cold models ride the
+    // margin-inflated GBT predicted tier.
+    serving::ServiceEstimator oracle_est(study.oracle);
+    serving::ServiceEstimator view_est(arm.services);
+    study.viewInflation = view_est.inflation();
+    study.viewPredictorTrained = view_est.predictorTrained();
+    study.warmCalibrated = view_est.calibratedCount();
+
+    serving::AdmissionController warm_gate(view_est);
+    serving::AdmissionController oracle_gate(oracle_est);
+    serving::AdmissionController view_gate(view_est);
+
+    multidnn::DeadlinePolicy policy;
+    auto run = [&](const char *name,
+                   const std::vector<multidnn::ModelRequest> &trace,
+                   serving::AdmissionController *gate) {
+        serving::ServingSimParams params;
+        params.readyLimit = 0; // drain everything; accounting closes
+        params.cluster.deviceCount = kAdmissionDevices;
+        params.cluster.overlapInitWithExec = true;
+        params.arrival = gate;
+        if (gate)
+            gate->resetDecisions();
+        AdmissionFigures f;
+        f.scenario = name;
+        f.gated = gate != nullptr;
+        // Execution always prices against the oracle table — the view
+        // only changes what the gate believes, never what runs.
+        f.outcome = serving::simulateServing(trace, policy,
+                                             study.oracle, params);
+        f.submitted = trace.size();
+        if (gate)
+            f.decisions = gate->decisions();
+        f.accountingComplete = f.outcome.stats.completed() +
+                                   f.outcome.stats.shedCount() ==
+                               trace.size();
+        study.scenarios.push_back(std::move(f));
+    };
+    run("overload_dispatch_only", warm_trace, nullptr);
+    run("overload_arrival", warm_trace, &warm_gate);
+    run("cold_influx_oracle", cold_trace, &oracle_gate);
+    run("cold_influx_predicted", cold_trace, &view_gate);
+    return study;
+}
+
+/** Print the admission study; returns the shape-check verdict and the
+ * `serving_admission` JSON fragment (no trailing comma/newline). */
+std::pair<bool, std::string>
+reportAdmissionStudy(const AdmissionStudy &study)
+{
+    printHeading(std::cout,
+                 "Arrival-time admission: overload + cold influx");
+    std::cout << "uniform SLO bound " << formatMs(study.sloBound)
+              << ", " << formatDouble(kAdmissionOverload, 1)
+              << "x overload on " << kAdmissionDevices
+              << " overlap devices; warm view: "
+              << study.warmCalibrated
+              << " calibrated models, predictor "
+              << (study.viewPredictorTrained ? "trained" : "UNTRAINED")
+              << ", inflation "
+              << formatDouble(study.viewInflation, 2) << "x\n";
+
+    Table t({"Scenario", "Gate", "Goodput", "p99", "Shed",
+             "Arrival sheds", "Tier cal/pred/pess", "Accounted"});
+    for (const auto &f : study.scenarios) {
+        const auto &s = f.outcome.stats;
+        const auto &d = f.decisions;
+        t.addRow({f.scenario, f.gated ? "arrival" : "dispatch",
+                  formatDouble(100.0 * s.goodputRate(), 2) + "%",
+                  formatMs(s.p99()), std::to_string(s.shedCount()),
+                  std::to_string(f.outcome.arrivalSheds),
+                  std::to_string(d.tierCalibrated) + "/" +
+                      std::to_string(d.tierPredicted) + "/" +
+                      std::to_string(d.tierPessimistic),
+                  f.accountingComplete ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+
+    auto row = [&](const char *name) -> const AdmissionFigures & {
+        for (const auto &f : study.scenarios)
+            if (f.scenario == name)
+                return f;
+        return study.scenarios.front();
+    };
+    const auto &ungated = row("overload_dispatch_only");
+    const auto &gated = row("overload_arrival");
+    const auto &oracle = row("cold_influx_oracle");
+    const auto &predicted = row("cold_influx_predicted");
+    double arrival_delta = gated.outcome.stats.goodputRate() -
+                           ungated.outcome.stats.goodputRate();
+    double cold_gap = oracle.outcome.stats.goodputRate() -
+                      predicted.outcome.stats.goodputRate();
+
+    // Acceptance shapes: the gate strictly beats dispatch-point-only
+    // admission on goodput at 2x overload; under cold influx the
+    // predicted-tier gate degrades gracefully (bounded goodput gap vs
+    // the fully-calibrated oracle gate); every submitted request is
+    // completed or shed with a reason; the gate decided every arrival
+    // (fault-free: decisions == submissions); and each scenario's
+    // estimate-tier mix is what its view implies.
+    bool admission_ok = true;
+    for (const auto &f : study.scenarios) {
+        admission_ok &= f.accountingComplete;
+        admission_ok &= !f.outcome.unstable;
+        admission_ok &= f.gated
+                            ? f.outcome.arrivalSheds > 0 &&
+                                  f.decisions.total() == f.submitted
+                            : f.outcome.arrivalSheds == 0;
+    }
+    admission_ok &= arrival_delta > 0.0;
+    admission_ok &= cold_gap <= kColdGapBound;
+    admission_ok &= study.viewPredictorTrained;
+    admission_ok &= gated.decisions.tierPredicted == 0 &&
+                    gated.decisions.tierPessimistic == 0;
+    admission_ok &= oracle.decisions.tierPredicted == 0 &&
+                    oracle.decisions.tierPessimistic == 0;
+    admission_ok &= predicted.decisions.tierPredicted > 0 &&
+                    predicted.decisions.tierCalibrated > 0;
+
+    std::cout << "arrival-gate goodput delta at "
+              << formatDouble(kAdmissionOverload, 1) << "x overload: "
+              << formatDouble(100.0 * arrival_delta, 2)
+              << " points\ncold-influx goodput gap (oracle - "
+                 "predicted view): "
+              << formatDouble(100.0 * cold_gap, 2) << " points\n"
+              << "Admission shape check (gate beats dispatch-only, "
+                 "bounded cold gap, every request accounted): "
+              << (admission_ok ? "PASS" : "FAIL") << "\n";
+
+    std::ostringstream ajson;
+    ajson << "  \"serving_admission\": {\n    \"request_count\": "
+          << kAdmissionRequests
+          << ",\n    \"devices\": " << kAdmissionDevices
+          << ",\n    \"overlap\": true,\n    \"policy\": "
+             "\"deadline\",\n    \"overload_factor\": "
+          << formatDouble(kAdmissionOverload, 1)
+          << ",\n    \"cold_fraction\": "
+          << formatDouble(kAdmissionColdFraction, 2)
+          << ",\n    \"slo_bound_ms\": "
+          << toMilliseconds(study.sloBound)
+          << ",\n    \"warm_calibrated_models\": "
+          << study.warmCalibrated
+          << ",\n    \"predictor_trained\": "
+          << (study.viewPredictorTrained ? "true" : "false")
+          << ",\n    \"predicted_inflation\": "
+          << formatDouble(study.viewInflation, 4)
+          << ",\n    \"arrival_goodput_delta\": "
+          << formatDouble(arrival_delta, 6)
+          << ",\n    \"cold_goodput_gap\": "
+          << formatDouble(cold_gap, 6) << ",\n    \"scenarios\": [\n";
+    for (std::size_t i = 0; i < study.scenarios.size(); ++i) {
+        const auto &f = study.scenarios[i];
+        const auto &s = f.outcome.stats;
+        const auto &d = f.decisions;
+        ajson << "      {\"scenario\": \"" << f.scenario
+              << "\", \"gated\": " << (f.gated ? "true" : "false")
+              << ", \"goodput\": " << s.goodputRate()
+              << ", \"p99_ms\": " << s.p99Ms()
+              << ", \"completed\": " << s.completed()
+              << ", \"shed\": " << s.shedCount()
+              << ", \"arrival_sheds\": " << f.outcome.arrivalSheds
+              << ", \"degraded\": " << s.degradedCount()
+              << ", \"tier_calibrated\": " << d.tierCalibrated
+              << ", \"tier_predicted\": " << d.tierPredicted
+              << ", \"tier_pessimistic\": " << d.tierPessimistic
+              << ", \"accounting_complete\": "
+              << (f.accountingComplete ? "true" : "false") << "}"
+              << (i + 1 < study.scenarios.size() ? "," : "") << "\n";
+    }
+    ajson << "    ]\n  }";
+    return {admission_ok, ajson.str()};
+}
+
 /** Bit-exact equality of the determinism-relevant figures. */
 bool
 figuresIdentical(const PolicyFigures &a, const PolicyFigures &b)
@@ -421,6 +715,28 @@ runShardingDeterminismCheck()
     return identical && exercised ? 0 : 1;
 }
 
+/** `--admission-only PATH`: run just the admission study and write a
+ * standalone {"serving_admission": ...} fragment for the section
+ * merge in tools/run_benchmarks.sh (`--only admission`). */
+int
+runAdmissionOnly(const char *path)
+{
+    core::PlanMemo memo(1024);
+    int threads = ThreadPool::defaultThreadCount();
+    auto arm = calibrateArm(memo, threads);
+    auto study = runAdmissionStudy(arm, memo, threads);
+    auto [ok, ajson] = reportAdmissionStudy(study);
+    std::ofstream out(path);
+    out << "{\n" << ajson << "\n}\n";
+    if (out.good()) {
+        std::cout << "wrote " << path << "\n";
+    } else {
+        std::cerr << "failed to write " << path << "\n";
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}
+
 int
 runDeterminismCheck()
 {
@@ -470,6 +786,8 @@ main(int argc, char **argv)
     if (argc > 1 &&
         std::strcmp(argv[1], "--sharding-determinism") == 0)
         return runShardingDeterminismCheck();
+    if (argc > 2 && std::strcmp(argv[1], "--admission-only") == 0)
+        return runAdmissionOnly(argv[2]);
 
     printHeading(std::cout,
                  "Serving harness: 1M-request capacity study");
@@ -747,11 +1065,18 @@ main(int argc, char **argv)
               << (f.accountingComplete ? "true" : "false") << "}"
               << (i + 1 < faults.size() ? "," : "") << "\n";
     }
-    fjson << "    ]\n  },\n"; // serving_sharding section follows
+    fjson << "    ]\n  },\n"; // serving_admission section follows
+
+    // ------------------------------------------- admission study
+    auto admission =
+        runAdmissionStudy(arm, memo, ThreadPool::defaultThreadCount());
+    auto [admission_ok, ajson] = reportAdmissionStudy(admission);
+    ok &= admission_ok;
 
     if (argc > 1) {
         std::ofstream out(argv[1]);
-        out << json.str() << fjson.str() << sjson.str() << "}\n";
+        out << json.str() << fjson.str() << ajson << ",\n"
+            << sjson.str() << "}\n";
         if (out.good()) {
             std::cout << "wrote " << argv[1] << "\n";
         } else {

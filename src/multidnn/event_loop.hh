@@ -98,6 +98,12 @@ struct DispatchedRun
  * @param faults optional deterministic fault schedule (see
  *     multidnn/faults.hh); @p recovery tunes detection and retry;
  *     @p counters, when given, accumulates fault/recovery accounting.
+ * @param arrival optional arrival-time admission gate (see
+ *     multidnn/policies.hh): consulted the instant a request or a
+ *     fault retry would enter the ready set. Shed verdicts drop it
+ *     with DropReason::ArrivalShed before it occupies a queue slot;
+ *     Degrade marks it sticky-degraded on entry. Null keeps the
+ *     historical dispatch-point-only behaviour bit-identically.
  */
 template <typename MakeReadyFn, typename DispatchFn,
           typename CompleteFn, typename DropFn>
@@ -109,7 +115,8 @@ drainClusterQueue(const std::vector<ModelRequest> &queue,
                   DropFn &&onDrop, std::size_t ready_limit = 0,
                   const FaultPlan *faults = nullptr,
                   const RecoveryConfig &recovery = {},
-                  FaultCounters *counters = nullptr)
+                  FaultCounters *counters = nullptr,
+                  const ArrivalAdmission *arrival = nullptr)
 {
     /** One event of the simulation clock. */
     struct Event
@@ -268,15 +275,33 @@ drainClusterQueue(const std::vector<ModelRequest> &queue,
         }
         now = std::max(now, ev.time);
 
+        // Arrival-time admission: consulted before the request enters
+        // the ready set (fresh arrivals and fault retries alike), so a
+        // shed request never occupies a queue slot. The gate reads only
+        // state both execution paths share bit-identically.
+        auto enterReady = [&](ReadyRequest r) {
+            if (arrival) {
+                auto verdict =
+                    arrival->admitAtArrival(now, r, ready, cluster);
+                if (verdict == Admission::Shed) {
+                    onDrop(r, now, DropReason::ArrivalShed);
+                    return true;
+                }
+                if (verdict == Admission::Degrade)
+                    r.degraded = true;
+            }
+            ready.push_back(std::move(r));
+            // Backlog diverged: unstable load, abort the drain.
+            return !(ready_limit > 0 && ready.size() > ready_limit);
+        };
+
         switch (ev.kind) {
           case Event::Arrival:
-            ready.push_back(makeReady(ev.seq));
-            if (ready_limit > 0 && ready.size() > ready_limit)
-                return false; // backlog diverged: unstable load
+            if (!enterReady(makeReady(ev.seq)))
+                return false;
             break;
           case Event::Retry:
-            ready.push_back(retry_pool[ev.seq]);
-            if (ready_limit > 0 && ready.size() > ready_limit)
+            if (!enterReady(retry_pool[ev.seq]))
                 return false;
             break;
           case Event::Completion: {

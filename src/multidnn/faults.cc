@@ -36,6 +36,8 @@ dropReasonName(DropReason reason)
         return "fault-budget";
       case DropReason::Starved:
         return "starved";
+      case DropReason::ArrivalShed:
+        return "arrival-shed";
     }
     return "unknown";
 }

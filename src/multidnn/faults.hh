@@ -169,6 +169,7 @@ enum class DropReason
     Admission,   ///< SLO admission shed (policy verdict)
     FaultBudget, ///< retries exhausted after repeated fault kills
     Starved,     ///< queue drained with no device ever accepting again
+    ArrivalShed, ///< shed at arrival by the backlog admission gate
 };
 
 /** Human name of a drop reason. */

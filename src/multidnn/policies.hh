@@ -221,6 +221,43 @@ class DeadlinePolicy : public SchedulingPolicy
     double degrade_fraction_;
 };
 
+class DeviceCluster;
+
+/**
+ * Arrival-time admission gate, consulted by the shared cluster event
+ * loop the instant a request (or a fault retry) would enter the ready
+ * set — before it ever occupies a queue slot. Dispatch-point admission
+ * (SchedulingPolicy::admit) only sheds a request once it is already
+ * doomed; an arrival gate can project the backlog forward and refuse
+ * work that will *become* doomed, so devices spend their time on
+ * requests that can still meet their bounds.
+ *
+ * Contract for bit-exact cross-validation: implementations must decide
+ * from (now, request, ready set, cluster state) only — all four are
+ * identical between the fast simulator and the real EventScheduler at
+ * every arrival by construction — and must NOT read
+ * ReadyRequest::estimatedLatency, which the two paths populate
+ * differently. Both paths must be handed the same gate object.
+ */
+class ArrivalAdmission
+{
+  public:
+    virtual ~ArrivalAdmission() = default;
+
+    /**
+     * Verdict for @p r entering the ready set at @p now (fresh arrival
+     * or fault retry). @p ready is the current queued-but-unplaced
+     * set; @p cluster exposes the per-device compute/DMA horizons the
+     * backlog model projects from. Shed verdicts drop the request with
+     * DropReason::ArrivalShed; Degrade marks it for dispatch at the
+     * policy's degraded budget.
+     */
+    virtual Admission admitAtArrival(
+        SimTime now, const ReadyRequest &r,
+        const std::vector<ReadyRequest> &ready,
+        const DeviceCluster &cluster) const = 0;
+};
+
 /** The built-in policy set, for iteration in benches/tests. */
 enum class PolicyKind
 {

@@ -150,7 +150,8 @@ EventScheduler::drain(DeviceCluster &cluster,
                       const std::map<models::ModelId, SimTime> &estimates,
                       const DispatchFn &dispatch,
                       const FaultPlan *faults,
-                      const RecoveryConfig &recovery)
+                      const RecoveryConfig &recovery,
+                      const ArrivalAdmission *arrival)
 {
     ScheduleOutcome out;
     out.policy = policy.name();
@@ -219,7 +220,7 @@ EventScheduler::drain(DeviceCluster &cluster,
             out.shed.push_back({r.queueIndex, r.model, r.arrival,
                                 r.latencyBound, now, reason});
         },
-        /*ready_limit=*/0, faults, recovery, &out.faults);
+        /*ready_limit=*/0, faults, recovery, &out.faults, arrival);
     return out;
 }
 
@@ -384,7 +385,8 @@ EventScheduler::run(const std::vector<ModelRequest> &queue,
                            {r.start, r.initDone, r.end});
             return {dev, std::move(r)};
         },
-        faulty ? &cfg_.faults : nullptr, cfg_.recovery);
+        faulty ? &cfg_.faults : nullptr, cfg_.recovery,
+        cfg_.arrivalAdmission);
     summarize(sims, cluster, out);
     out.replans += replan_acc.replans;
     out.replanMemoHits += replan_acc.replanMemoHits;

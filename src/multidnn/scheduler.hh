@@ -68,6 +68,14 @@ struct SchedulerConfig
     FaultPlan faults;
     /** Detection/retry knobs for recovering from injected faults. */
     RecoveryConfig recovery;
+    /**
+     * Arrival-time admission gate (null = dispatch-point admission
+     * only). Not owned; must outlive the scheduler. Hand the SAME
+     * gate to ServingSimParams::arrival for the fast-sim-vs-real
+     * cross-validation to stay bit-exact (the gate sees identical
+     * cluster state and ready sets on both paths by construction).
+     */
+    const ArrivalAdmission *arrivalAdmission = nullptr;
 };
 
 /**
@@ -212,7 +220,8 @@ class EventScheduler
         const std::map<models::ModelId, SimTime> &estimates,
         const DispatchFn &dispatch,
         const FaultPlan *faults = nullptr,
-        const RecoveryConfig &recovery = {});
+        const RecoveryConfig &recovery = {},
+        const ArrivalAdmission *arrival = nullptr);
 
     /** Finalize makespan/memory/energy/trace/per-device rows. */
     static void summarize(const std::vector<gpusim::GpuSimulator> &sims,

@@ -44,4 +44,34 @@ kernelFeatures(const gpusim::KernelSpec &spec, double extra_ratio)
     };
 }
 
+const std::vector<std::string> &
+graphFeatureNames()
+{
+    static const std::vector<std::string> names = {
+        "log_total_macs",      "log_weight_bytes",
+        "log_params",          "log_peak_activation_bytes",
+        "log_layers",          "log_weights",
+        "compute_intensity",   "log_macs_per_layer",
+    };
+    return names;
+}
+
+std::vector<double>
+graphFeatures(const graph::Graph &g)
+{
+    double macs = static_cast<double>(g.totalMacs());
+    double wbytes = static_cast<double>(g.totalWeightBytes());
+    double layers = static_cast<double>(g.layerCount());
+    return {
+        std::log1p(macs),
+        std::log1p(wbytes),
+        std::log1p(static_cast<double>(g.totalParams())),
+        std::log1p(static_cast<double>(g.peakActivationBytes())),
+        std::log1p(layers),
+        std::log1p(static_cast<double>(g.weightCount())),
+        macs / (wbytes > 0 ? wbytes : 1.0),
+        std::log1p(macs / (layers > 0 ? layers : 1.0)),
+    };
+}
+
 } // namespace flashmem::profiler

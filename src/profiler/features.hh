@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/graph.hh"
 #include "gpusim/kernel.hh"
 
 namespace flashmem::profiler {
@@ -26,6 +27,19 @@ const std::vector<std::string> &kernelFeatureNames();
  */
 std::vector<double> kernelFeatures(const gpusim::KernelSpec &spec,
                                    double extra_ratio);
+
+/** Names of the feature columns, aligned with graphFeatures(). */
+const std::vector<std::string> &graphFeatureNames();
+
+/**
+ * Model-level feature row from whole-graph aggregates — the inputs of
+ * the cold-model service-time predictor (serving/admission.hh).
+ * Everything here is derivable from the graph alone, before any
+ * planning or execution: that is the point — calibration requires a
+ * compile + execute per model, while these features exist the moment
+ * a new model ships.
+ */
+std::vector<double> graphFeatures(const graph::Graph &g);
 
 } // namespace flashmem::profiler
 

@@ -114,8 +114,10 @@ GbtRegressor::fit(const std::vector<std::vector<double>> &x,
               "GBT fit: bad training set (", x.size(), " rows, ",
               y.size(), " labels)");
     const std::size_t dims = x[0].size();
+    FM_ASSERT(dims > 0, "GBT fit: empty feature rows");
     for (const auto &row : x)
         FM_ASSERT(row.size() == dims, "GBT fit: ragged feature matrix");
+    feature_count_ = dims;
 
     trees_.clear();
     base_prediction_ =
@@ -157,6 +159,9 @@ double
 GbtRegressor::predict(const std::vector<double> &x) const
 {
     FM_ASSERT(trained_, "GBT predict before fit");
+    FM_ASSERT(x.size() == feature_count_,
+              "GBT predict: feature dimension mismatch (got ",
+              x.size(), ", trained on ", feature_count_, ")");
     double out = base_prediction_;
     for (const auto &tree : trees_)
         out += params_.learningRate * tree.predict(x);
@@ -167,7 +172,9 @@ double
 GbtRegressor::rmse(const std::vector<std::vector<double>> &x,
                    const std::vector<double> &y) const
 {
-    FM_ASSERT(x.size() == y.size() && !x.empty(), "rmse: bad set");
+    FM_ASSERT(!x.empty(), "GBT rmse: empty evaluation set");
+    FM_ASSERT(x.size() == y.size(), "GBT rmse: ", x.size(), " rows vs ",
+              y.size(), " labels");
     double se = 0.0;
     for (std::size_t i = 0; i < x.size(); ++i) {
         double d = predict(x[i]) - y[i];
@@ -180,7 +187,9 @@ double
 GbtRegressor::r2(const std::vector<std::vector<double>> &x,
                  const std::vector<double> &y) const
 {
-    FM_ASSERT(x.size() == y.size() && !x.empty(), "r2: bad set");
+    FM_ASSERT(!x.empty(), "GBT r2: empty evaluation set");
+    FM_ASSERT(x.size() == y.size(), "GBT r2: ", x.size(), " rows vs ",
+              y.size(), " labels");
     double mean =
         std::accumulate(y.begin(), y.end(), 0.0) /
         static_cast<double>(y.size());

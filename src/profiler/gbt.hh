@@ -43,17 +43,23 @@ class GbtRegressor
     void fit(const std::vector<std::vector<double>> &x,
              const std::vector<double> &y);
 
-    /** Predict one sample; fatal if called before fit(). */
+    /** Predict one sample; fatal if called before fit() or when
+     * @p x's dimensionality differs from the training matrix (tree
+     * traversal would index out of bounds otherwise). */
     double predict(const std::vector<double> &x) const;
 
     bool trained() const { return trained_; }
     std::size_t treeCount() const { return trees_.size(); }
+    /** Feature dimensionality the ensemble was fitted on. */
+    std::size_t featureCount() const { return feature_count_; }
 
-    /** Root-mean-square error over a labelled set. */
+    /** Root-mean-square error over a labelled set; fatal on an empty
+     * set, mismatched row/label counts, or ragged rows. */
     double rmse(const std::vector<std::vector<double>> &x,
                 const std::vector<double> &y) const;
 
-    /** Coefficient of determination (R^2) over a labelled set. */
+    /** Coefficient of determination (R^2) over a labelled set; same
+     * input validation as rmse(). */
     double r2(const std::vector<std::vector<double>> &x,
               const std::vector<double> &y) const;
 
@@ -81,6 +87,7 @@ class GbtRegressor
 
     GbtParams params_;
     bool trained_ = false;
+    std::size_t feature_count_ = 0;
     double base_prediction_ = 0.0;
     std::vector<Tree> trees_;
 };

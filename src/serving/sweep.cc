@@ -102,12 +102,14 @@ simulateImpl(const std::vector<ModelRequest> &trace,
                                        met, req.degraded);
             out.makespan = std::max(out.makespan, run.times.end);
         },
-        [&](const ReadyRequest &, SimTime, multidnn::DropReason) {
+        [&](const ReadyRequest &, SimTime, multidnn::DropReason reason) {
+            if (reason == multidnn::DropReason::ArrivalShed)
+                ++out.arrivalSheds;
             out.stats.recordShed();
         },
         params.readyLimit,
         params.faults.empty() ? nullptr : &params.faults,
-        params.recovery, &out.faults);
+        params.recovery, &out.faults, params.arrival);
 
     out.unstable = !stable;
     out.devices = cluster.utilization(out.makespan);

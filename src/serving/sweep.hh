@@ -56,6 +56,13 @@ struct ServingSimParams
     multidnn::FaultPlan faults;
     /** Detection/retry knobs for recovering from injected faults. */
     multidnn::RecoveryConfig recovery;
+    /**
+     * Arrival-time admission gate (null = dispatch-point admission
+     * only; see serving/admission.hh). Not owned. Hand the SAME gate
+     * to SchedulerConfig::arrivalAdmission on the real path for the
+     * cross-validation to stay bit-exact.
+     */
+    const multidnn::ArrivalAdmission *arrival = nullptr;
 };
 
 /** Outcome of one simulated serving run. */
@@ -79,6 +86,9 @@ struct ServingOutcome
     /** Fault-recovery accounting (all zero on fault-free runs);
      * fault-shed and starved requests also count in stats.shed. */
     multidnn::FaultCounters faults;
+    /** Requests shed at arrival by the backlog admission gate
+     * (DropReason::ArrivalShed); a subset of stats.shed. */
+    std::size_t arrivalSheds = 0;
 };
 
 /** Drain @p trace against calibrated @p services under @p policy

@@ -196,6 +196,64 @@ TEST(P2Quantile, TracksHeavyTailedQuantiles)
     EXPECT_NEAR(p99.value(), std::log(100.0), 0.25);
 }
 
+TEST(P2Quantile, MatchesExactQuantileBelowFiveSamples)
+{
+    // The estimator only switches to the parabolic marker update at
+    // five samples; before that value() must be the exact nearest-rank
+    // quantile of the stored observations, at every probed p.
+    const std::vector<double> stream = {42.0, 7.0, 19.0, 3.5};
+    for (double p : {0.10, 0.50, 0.90, 0.99}) {
+        std::vector<double> xs;
+        P2Quantile q(p);
+        for (double x : stream) {
+            q.add(x);
+            xs.push_back(x);
+            EXPECT_DOUBLE_EQ(q.value(), exactQuantile(xs, p))
+                << "p=" << p << " n=" << xs.size();
+        }
+    }
+}
+
+TEST(P2Quantile, ConstantStreamCollapsesToTheValue)
+{
+    // All five markers land on the same height: the degenerate case
+    // for the parabolic update (every marker gap is zero).
+    P2Quantile q(0.99);
+    for (int i = 0; i < 10000; ++i)
+        q.add(250.0);
+    EXPECT_EQ(q.count(), 10000u);
+    EXPECT_DOUBLE_EQ(q.value(), 250.0);
+}
+
+TEST(P2Quantile, DuplicateHeavyStreamStaysNearExact)
+{
+    // Latency streams over a calibrated service table are massively
+    // duplicate-heavy: every uncontended run of a model costs the same
+    // integer nanoseconds, so adjacent markers collide constantly —
+    // exactly where the parabolic update degenerates. The estimate
+    // must stay inside the observed range and track the exact sorted
+    // quantile (both probed quantiles sit well inside a plateau, so
+    // the exact answer is stable against sampling noise).
+    Rng rng(21);
+    const double values[] = {10.0, 10.0, 10.0, 10.0, 40.0, 160.0};
+    std::vector<double> xs;
+    P2Quantile p50(0.50), p99(0.99);
+    for (int i = 0; i < 30000; ++i) {
+        double x = values[rng.uniformInt(0, 5)];
+        xs.push_back(x);
+        p50.add(x);
+        p99.add(x);
+    }
+    double exact50 = exactQuantile(xs, 0.50); // inside the 10-plateau
+    double exact99 = exactQuantile(xs, 0.99); // inside the 160-plateau
+    EXPECT_DOUBLE_EQ(exact50, 10.0);
+    EXPECT_DOUBLE_EQ(exact99, 160.0);
+    EXPECT_GE(p50.value(), 10.0);
+    EXPECT_LE(p99.value(), 160.0);
+    EXPECT_NEAR(p50.value(), exact50, 0.25 * exact50);
+    EXPECT_NEAR(p99.value(), exact99, 0.25 * exact99);
+}
+
 TEST(P2Quantile, IsDeterministicForAGivenStream)
 {
     Rng a(11), b(11);

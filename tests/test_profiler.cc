@@ -110,6 +110,39 @@ TEST(Gbt, DeterministicAcrossRuns)
                          g2.predict({probe, probe * probe}));
 }
 
+TEST(Gbt, FitRejectsEmptyTrainingSets)
+{
+    GbtRegressor gbt;
+    EXPECT_DEATH(gbt.fit({}, {}), "bad training set");
+    EXPECT_DEATH(gbt.fit({{1.0}}, {1.0, 2.0}), "bad training set");
+    EXPECT_DEATH(gbt.fit({{}, {}}, {1.0, 2.0}), "empty feature rows");
+}
+
+TEST(Gbt, PredictRejectsDimensionMismatch)
+{
+    // A silent mismatch would read whatever feature happens to sit at
+    // the tree's split index — plausible garbage, not an error. The
+    // regressor records the trained width and dies loudly instead.
+    GbtRegressor gbt;
+    gbt.fit({{1.0, 2.0}, {3.0, 4.0}}, {1.0, 2.0});
+    EXPECT_EQ(gbt.featureCount(), 2u);
+    EXPECT_DEATH(gbt.predict({}), "dimension mismatch");
+    EXPECT_DEATH(gbt.predict({1.0}), "dimension mismatch");
+    EXPECT_DEATH(gbt.predict({1.0, 2.0, 3.0}), "dimension mismatch");
+}
+
+TEST(Gbt, MetricsRejectEmptyAndRaggedEvaluationSets)
+{
+    GbtRegressor gbt;
+    std::vector<std::vector<double>> x = {{1.0}, {2.0}};
+    std::vector<double> y = {1.0, 2.0};
+    gbt.fit(x, y);
+    EXPECT_DEATH(gbt.rmse({}, {}), "empty evaluation set");
+    EXPECT_DEATH(gbt.rmse(x, {1.0}), "rows vs");
+    EXPECT_DEATH(gbt.r2({}, {}), "empty evaluation set");
+    EXPECT_DEATH(gbt.r2(x, {1.0}), "rows vs");
+}
+
 // --------------------------------------------------------------- features
 
 TEST(Features, AlignedWithNames)

@@ -22,6 +22,14 @@ snapshot:
     than 10%, a fresh-run scenario stops accounting for every
     submitted request, or the mid-run-crash goodput ratio falls below
     0.65 of fault-free (the "crash costs < 35% goodput" bound), or
+  - the serving_admission section loses a scenario, any scenario's
+    goodput drops by more than 2 points or its p99 worsens by more
+    than 10%, a fresh-run scenario stops accounting for every
+    submitted request, the arrival gate stops strictly beating
+    dispatch-point-only admission on goodput at overload
+    (arrival_goodput_delta <= 0), or the cold-influx goodput gap of
+    the predicted-tier view vs the fully-calibrated oracle exceeds
+    0.15, or
   - the serving_sharding section loses a (device count, overlap)
     operating point, any point's max sustainable QPS drops by more
     than 10%, the 4-device scaling efficiency regresses by more than
@@ -248,6 +256,72 @@ def main() -> int:
                 f"vs fault-free (ratio {ratio:.3f} < 0.65)")
         else:
             print(f"crash goodput ratio: {ratio:.3f}")
+
+    # Arrival-time admission: goodput/p99 per overload scenario, the
+    # accounting invariant, the gated-beats-ungated delta, and the
+    # cold-influx gap of the predicted-tier estimator vs the oracle.
+    if "serving_admission" not in old or "serving_admission" not in new:
+        side = ("both snapshots"
+                if "serving_admission" not in old and
+                "serving_admission" not in new else
+                "the committed snapshot"
+                if "serving_admission" not in old else "the fresh run")
+        failures.append(f"serving_admission missing from {side}")
+    else:
+        def admission_check(name, old_row, new_row):
+            for field in ("goodput", "p99_ms", "accounting_complete"):
+                if field not in old_row or field not in new_row:
+                    failures.append(
+                        f"admission scenario {name}: {field} missing")
+                    return
+            if not new_row["accounting_complete"]:
+                failures.append(
+                    f"admission scenario {name}: a submitted request "
+                    "was neither completed nor shed with a reason")
+            if new_row["goodput"] < old_row["goodput"] - GOODPUT_TOLERANCE:
+                failures.append(
+                    f"admission scenario {name}: goodput dropped"
+                    f" {old_row['goodput']:.3f} ->"
+                    f" {new_row['goodput']:.3f} (> 2 points)")
+            if new_row["p99_ms"] > LATENCY_TOLERANCE * old_row["p99_ms"]:
+                failures.append(
+                    f"admission scenario {name}: p99 worsened"
+                    f" {old_row['p99_ms']:.1f} ->"
+                    f" {new_row['p99_ms']:.1f} ms (> 10%)")
+
+        old_adm = old["serving_admission"].get("scenarios", [])
+        new_adm = new["serving_admission"].get("scenarios", [])
+        if not old_adm or not new_adm:
+            failures.append(
+                "serving_admission has no scenarios in "
+                + ("the committed snapshot" if not old_adm
+                   else "the fresh run"))
+        check_keyed_rows("admission scenario", "scenario", old_adm,
+                         new_adm, failures, admission_check)
+
+        delta = new["serving_admission"].get("arrival_goodput_delta")
+        if delta is None:
+            failures.append(
+                "arrival_goodput_delta missing from the fresh run")
+        elif delta <= 0.0:
+            failures.append(
+                "arrival-time admission no longer strictly beats "
+                "dispatch-point-only admission on goodput at "
+                f"overload (delta {delta:.4f} <= 0)")
+        else:
+            print(f"arrival admission goodput delta: {delta:.4f}")
+
+        gap = new["serving_admission"].get("cold_goodput_gap")
+        if gap is None:
+            failures.append(
+                "cold_goodput_gap missing from the fresh run")
+        elif gap > 0.15:
+            failures.append(
+                "cold-model influx: the predicted-tier gate gives up "
+                f"more than 15 goodput points vs the oracle (gap "
+                f"{gap:.4f} > 0.15)")
+        else:
+            print(f"cold influx goodput gap: {gap:.4f}")
 
     # Device sharding: the scaling curve over device counts and the
     # cross-request overlap demo. Missing device counts are lost

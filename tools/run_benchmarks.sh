@@ -12,7 +12,9 @@
 # solver speedup regresses by more than 10%, any instance objective
 # worsens, any Table-4 status degrades, any Fig-6 policy's makespan
 # or mean request latency worsens by more than 10%, any serving
-# policy's p95 / goodput / max sustainable QPS regresses, or the
+# policy's p95 / goodput / max sustainable QPS regresses, the
+# serving_admission study loses a scenario / stops beating
+# dispatch-only admission / blows its cold-influx gap bound, or the
 # serving_sharding scaling curve loses a device count / regresses its
 # 4-device scaling efficiency. Missing fields/sections fail loudly,
 # as do colliding top-level keys in the section merge. Pass --no-gate
@@ -20,12 +22,15 @@
 # snapshot's, or when the schema legitimately changed and the
 # snapshot must be regenerated).
 #
-# Pass --only SECTION[,SECTION...] (sections: solver, fig6, serving)
-# to re-run a subset of the benches — e.g. `--only serving` iterates
-# on the 1M-request serving study without re-running the solver
-# suite. The sections not re-run are carried over from the committed
-# snapshot, so the merged result keeps the full schema and the gate
-# still checks everything.
+# Pass --only SECTION[,SECTION...] (sections: solver, fig6, serving,
+# admission) to re-run a subset of the benches — e.g. `--only serving`
+# iterates on the 1M-request serving study without re-running the
+# solver suite, and `--only admission` re-runs just the arrival-time
+# admission study (bench_serving --admission-only). The sections not
+# re-run are carried over from the committed snapshot, so the merged
+# result keeps the full schema and the gate still checks everything.
+# (`serving` already owns the serving_admission section, so
+# `admission` is folded into it when both are requested.)
 #
 # Usage: tools/run_benchmarks.sh [--no-gate] [--only SECTIONS] [output.json]
 
@@ -46,17 +51,19 @@ while [[ $# -gt 0 ]]; do
 done
 out_json="${1:-${repo_root}/BENCH_table4.json}"
 
-run_solver=1; run_fig6=1; run_serving=1
+run_solver=1; run_fig6=1; run_serving=1; run_admission=0
 if [[ -n "${only}" ]]; then
     run_solver=0; run_fig6=0; run_serving=0
     IFS=',' read -ra sections <<< "${only}"
     for s in "${sections[@]}"; do
         case "$s" in
-            solver)  run_solver=1 ;;
-            fig6)    run_fig6=1 ;;
-            serving) run_serving=1 ;;
+            solver)    run_solver=1 ;;
+            fig6)      run_fig6=1 ;;
+            serving)   run_serving=1 ;;
+            admission) run_admission=1 ;;
             *) echo "error: unknown section '$s'" \
-                    "(expected solver, fig6, serving)" >&2; exit 2 ;;
+                    "(expected solver, fig6, serving, admission)" \
+                    >&2; exit 2 ;;
         esac
     done
     if [[ ! -f "${out_json}" ]]; then
@@ -65,18 +72,33 @@ if [[ -n "${only}" ]]; then
         exit 2
     fi
 fi
+# The full serving bench already emits serving_admission; running the
+# standalone fragment too would collide in the merge.
+[[ ${run_serving} -eq 1 ]] && run_admission=0
 
+# Install the cleanup trap before the first mktemp so an early exit
+# (set -e between the mktemp calls, ctrl-C) cannot strand temp files.
+solver_json=""; fig6_json=""; serving_json=""
+admission_json=""; merged_json=""
+cleanup() {
+    rm -f ${solver_json:+"${solver_json}"} \
+          ${fig6_json:+"${fig6_json}"} \
+          ${serving_json:+"${serving_json}"} \
+          ${admission_json:+"${admission_json}"} \
+          ${merged_json:+"${merged_json}"}
+}
+trap cleanup EXIT
 solver_json="$(mktemp /tmp/bench_table4.XXXXXX.json)"
 fig6_json="$(mktemp /tmp/bench_fig6.XXXXXX.json)"
 serving_json="$(mktemp /tmp/bench_serving.XXXXXX.json)"
+admission_json="$(mktemp /tmp/bench_admission.XXXXXX.json)"
 merged_json="$(mktemp /tmp/bench_merged.XXXXXX.json)"
-trap 'rm -f "${solver_json}" "${fig6_json}" "${serving_json}" \
-           "${merged_json}"' EXIT
 
 targets=()
 [[ ${run_solver} -eq 1 ]] && targets+=(bench_table4_solver_runtime)
 [[ ${run_fig6} -eq 1 ]] && targets+=(bench_fig6_multimodel)
-[[ ${run_serving} -eq 1 ]] && targets+=(bench_serving)
+[[ ${run_serving} -eq 1 || ${run_admission} -eq 1 ]] &&
+    targets+=(bench_serving)
 
 cmake -B "${build_dir}" -S "${repo_root}" \
       -DCMAKE_BUILD_TYPE=Release -DBUILD_TESTING=OFF >/dev/null
@@ -94,6 +116,11 @@ fi
 if [[ ${run_serving} -eq 1 ]]; then
     "${build_dir}/bench_serving" "${serving_json}" >/dev/null
     fresh+=("${serving_json}")
+fi
+if [[ ${run_admission} -eq 1 ]]; then
+    "${build_dir}/bench_serving" --admission-only \
+        "${admission_json}" >/dev/null
+    fresh+=("${admission_json}")
 fi
 
 if ! command -v python3 >/dev/null; then
@@ -146,5 +173,5 @@ if [[ ${gate} -eq 1 && -f "${out_json}" ]]; then
 fi
 
 mv "${merged_json}" "${out_json}"
-trap 'rm -f "${solver_json}" "${fig6_json}" "${serving_json}"' EXIT
+merged_json="" # delivered; cleanup must not touch it
 echo "perf snapshot written to ${out_json}"
