@@ -54,8 +54,14 @@ main()
 
     std::vector<std::string> headers = {"Operator", "base ms"};
     const double ratios[] = {0.25, 0.5, 0.75, 1.0, 1.5, 2.0};
-    for (double r : ratios)
-        headers.push_back("+" + formatDouble(r, 2) + "x");
+    // Built up with += rather than operator+ chaining: GCC 12's
+    // -Wrestrict misfires on the char*+std::string&& overload here.
+    for (double r : ratios) {
+        std::string h = "+";
+        h += formatDouble(r, 2);
+        h += "x";
+        headers.push_back(std::move(h));
+    }
     headers.push_back("r@20%");
     headers.push_back("r@30%");
     Table t(headers);

@@ -86,8 +86,8 @@ class TimeSeries
   public:
     struct Point
     {
-        SimTime time;
-        double value;
+        SimTime time = 0;
+        double value = 0.0;
     };
 
     /** Record that the series holds @p value from @p time onwards. */

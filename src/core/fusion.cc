@@ -1,7 +1,6 @@
 #include "core/fusion.hh"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/logging.hh"
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <type_traits>
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
@@ -253,7 +255,11 @@ PlanMemo::evictIfNeeded()
     // rare and the map is small).
     auto victim = entries_.begin();
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-        if (it->second.lastUse < victim->second.lastUse)
+        // Tie-break on the fingerprint so the victim never depends on
+        // hash-table iteration order.
+        if (it->second.lastUse < victim->second.lastUse ||
+            (it->second.lastUse == victim->second.lastUse &&
+             it->first < victim->first))
             victim = it;
     }
     entries_.erase(victim);
@@ -276,14 +282,24 @@ template <typename T>
 void
 putPod(std::ostream &os, T value)
 {
-    os.write(reinterpret_cast<const char *>(&value), sizeof(value));
+    // memcpy through a char buffer instead of reinterpret_cast: the
+    // same bytes, but type-safe by construction (no aliasing cast to
+    // audit at every call site).
+    static_assert(std::is_trivially_copyable_v<T>);
+    char buf[sizeof(T)];
+    std::memcpy(buf, &value, sizeof buf);
+    os.write(buf, sizeof buf);
 }
 
 template <typename T>
 bool
 getPod(std::istream &is, T &value)
 {
-    is.read(reinterpret_cast<char *>(&value), sizeof(value));
+    static_assert(std::is_trivially_copyable_v<T>);
+    char buf[sizeof(T)];
+    if (!is.read(buf, sizeof buf))
+        return false;
+    std::memcpy(&value, buf, sizeof buf);
     return is.good();
 }
 
@@ -360,14 +376,11 @@ PlanMemo::loadFromFile(const std::string &path)
         e.objective = objective;
         e.lastUse = last_use;
         e.values.resize(nvalues);
-        if (nvalues &&
-            !in.read(reinterpret_cast<char *>(e.values.data()),
-                     static_cast<std::streamsize>(nvalues *
-                                                  sizeof(std::int64_t)))
-                 .good())
-            return false;
-        sum.add(e.values.data(),
-                e.values.size() * sizeof(std::int64_t));
+        for (auto &v : e.values) {
+            if (!getPod(in, v))
+                return false;
+            sum.addPod(v);
+        }
         loaded.emplace(fp, std::move(e));
     }
 
@@ -384,7 +397,9 @@ PlanMemo::loadFromFile(const std::string &path)
     while (entries_.size() > capacity_) {
         auto victim = entries_.begin();
         for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-            if (it->second.lastUse < victim->second.lastUse)
+            if (it->second.lastUse < victim->second.lastUse ||
+                (it->second.lastUse == victim->second.lastUse &&
+                 it->first < victim->first))
                 victim = it;
         }
         entries_.erase(victim);
@@ -411,7 +426,17 @@ PlanMemo::saveToFile(const std::string &path) const
         const auto count = static_cast<std::uint64_t>(entries_.size());
         putPod(out, count);
         sum.addPod(count);
-        for (const auto &[fp, e] : entries_) {
+        // Serialize in ascending-fingerprint order so the file bytes
+        // are a pure function of the memo contents — hash-table
+        // iteration order (which depends on insertion history) must
+        // never reach the disk format.
+        std::vector<std::uint64_t> fps;
+        fps.reserve(entries_.size());
+        for (const auto &kv : entries_)
+            fps.push_back(kv.first);
+        std::sort(fps.begin(), fps.end());
+        for (const auto fp : fps) {
+            const Entry &e = entries_.at(fp);
             const auto nvalues =
                 static_cast<std::uint64_t>(e.values.size());
             putPod(out, fp);
@@ -422,11 +447,10 @@ PlanMemo::saveToFile(const std::string &path) const
             sum.addPod(e.objective);
             sum.addPod(e.lastUse);
             sum.addPod(nvalues);
-            out.write(reinterpret_cast<const char *>(e.values.data()),
-                      static_cast<std::streamsize>(
-                          e.values.size() * sizeof(std::int64_t)));
-            sum.add(e.values.data(),
-                    e.values.size() * sizeof(std::int64_t));
+            for (const auto v : e.values) {
+                putPod(out, v);
+                sum.addPod(v);
+            }
         }
         putPod(out, sum.digest());
         if (!out.good())

@@ -36,8 +36,8 @@ class RatioSummary
 /** One sampled point of a memory trace. */
 struct TracePoint
 {
-    double seconds;
-    double megabytes;
+    double seconds = 0.0;
+    double megabytes = 0.0;
 };
 
 /** Downsample a byte-valued time series to @p points step samples. */

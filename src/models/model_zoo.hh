@@ -37,13 +37,13 @@ enum class ModelId
 /** Published characteristics from paper Table 6. */
 struct ModelSpec
 {
-    ModelId id;
+    ModelId id{};
     std::string abbr;       ///< e.g. "GPTN-1.3B"
     std::string inputType;  ///< Text / Image / Audio / Video
     std::string task;
-    double paperParamsM;    ///< parameters in millions
-    double paperMacsG;      ///< multiply-accumulates in billions
-    int paperLayers;        ///< lowered operator nodes
+    double paperParamsM = 0.0;  ///< parameters in millions
+    double paperMacsG = 0.0;    ///< multiply-accumulates in billions
+    int paperLayers = 0;        ///< lowered operator nodes
 };
 
 /** All Table-6 entries in paper order. */

@@ -18,7 +18,7 @@ namespace flashmem::multidnn {
 /** One queued inference request. */
 struct ModelRequest
 {
-    models::ModelId model;
+    models::ModelId model{};
     SimTime arrival = 0;
     /** Scheduling priority (higher runs first under the priority
      * policy; ignored by FIFO/SJF). */

@@ -150,6 +150,7 @@ struct TrailSearch
     std::uint64_t restarts = 0;
     bool restartPending = false;
     bool limitHit = false;
+    // FMLINT(allow:no-wall-clock) wall-clock time budget; Table-4 determinism runs bound by conflicts/decisions, not time
     std::chrono::steady_clock::time_point deadline;
 
     bool
@@ -157,6 +158,7 @@ struct TrailSearch
     {
         // Check the clock sparingly; decisions dominate runtime.
         if ((decisions & 0x3F) == 0 &&
+            // FMLINT(allow:no-wall-clock) wall-clock time budget; Table-4 determinism runs bound by conflicts/decisions, not time
             std::chrono::steady_clock::now() >= deadline) {
             limitHit = true;
         }
@@ -673,6 +675,7 @@ struct BaselineState
     std::uint64_t backtracks = 0;
     std::uint64_t restarts = 0; ///< always 0: no restarts in the seed DFS
     bool limitHit = false;
+    // FMLINT(allow:no-wall-clock) wall-clock time budget; Table-4 determinism runs bound by conflicts/decisions, not time
     std::chrono::steady_clock::time_point deadline;
 
     bool
@@ -680,6 +683,7 @@ struct BaselineState
     {
         // Check the clock sparingly; decisions dominate runtime.
         if ((decisions & 0x3F) == 0 &&
+            // FMLINT(allow:no-wall-clock) wall-clock time budget; Table-4 determinism runs bound by conflicts/decisions, not time
             std::chrono::steady_clock::now() >= deadline) {
             limitHit = true;
         }
@@ -925,6 +929,7 @@ SolveResult
 CpSolver::solve(const CpModel &model,
                 const std::vector<std::int64_t> *hint)
 {
+    // FMLINT(allow:no-wall-clock) reported wall time only; solve results never depend on it
     auto t0 = std::chrono::steady_clock::now();
     auto deadline =
         t0 + std::chrono::microseconds(static_cast<std::int64_t>(
@@ -976,6 +981,7 @@ CpSolver::solve(const CpModel &model,
     }
 
     result.wallSeconds =
+        // FMLINT(allow:no-wall-clock) reported wall time only; solve results never depend on it
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();

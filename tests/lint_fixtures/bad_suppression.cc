@@ -1,0 +1,22 @@
+// Lint fixture: suppressions below are invalid — one has no
+// justification string, one names an unknown check.  Both MUST be
+// reported as bad-suppression findings (always fatal).
+#include <chrono>
+
+long
+unjustified()
+{
+    // FMLINT(allow:no-wall-clock)
+    auto t0 = std::chrono::steady_clock::now();
+    (void)t0;
+    return 0;
+}
+
+long
+unknownCheck()
+{
+    // FMLINT(allow:no-such-check) reason text present but check bogus
+    auto t0 = std::chrono::steady_clock::now();
+    (void)t0;
+    return 0;
+}

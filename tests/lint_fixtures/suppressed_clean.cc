@@ -1,0 +1,54 @@
+// Lint fixture: every violation below carries an FMLINT suppression
+// with a justification, so the lint MUST exit 0 on this file.
+#include "common/thread_pool.hh"
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Tag {
+    int v = 0;
+};
+
+std::vector<std::string>
+dumpSuppressed(const std::unordered_map<int, std::string> &plans)
+{
+    std::vector<std::string> out;
+    // FMLINT(allow:no-unordered-iteration) fixture: output re-sorted by caller
+    for (const auto &[id, plan] : plans) {
+        out.push_back(plan);
+    }
+    return out;
+}
+
+long
+timedSuppressed()
+{
+    auto t0 = std::chrono::steady_clock::now(); // FMLINT(allow:no-wall-clock) fixture: timing only, never in results
+    (void)t0;
+    return 0;
+}
+
+// FMLINT(allow:no-pointer-order) fixture: identity map, order never observed
+std::map<Tag *, int> identitySuppressed;
+
+void
+punSuppressed(char *dst, double v)
+{
+    // FMLINT(allow:no-raw-cast) fixture: mmap'd scratch page, layout pinned by test
+    *reinterpret_cast<double *>(dst) = v;
+}
+
+double
+sumSuppressed(const std::vector<double> &xs)
+{
+    double total = 0.0;
+    flashmem::ThreadPool pool(2);
+    for (double x : xs) {
+        // FMLINT(allow:float-accumulation-order) fixture: single task owns total
+        pool.submit([&total, x] { total += x; });
+    }
+    return total;
+}

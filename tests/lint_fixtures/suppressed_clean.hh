@@ -1,0 +1,12 @@
+// Lint fixture: header-side suppression — the uninitialized scalar is
+// justified, so the lint MUST exit 0 on this file.
+#ifndef FLASHMEM_TESTS_LINT_FIXTURES_SUPPRESSED_CLEAN_HH
+#define FLASHMEM_TESTS_LINT_FIXTURES_SUPPRESSED_CLEAN_HH
+
+struct SuppressedConfig {
+    // FMLINT(allow:uninitialized-member) fixture: always set by the factory
+    int slots;
+    int ready = 0;
+};
+
+#endif

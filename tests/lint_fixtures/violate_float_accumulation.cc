@@ -1,0 +1,29 @@
+// Lint fixture: MUST trip float-accumulation-order (and nothing
+// else).  A floating-point += inside a thread-pool task means the
+// reduction result depends on task completion order.
+#include "common/thread_pool.hh"
+
+#include <vector>
+
+double
+sumParallel(const std::vector<double> &xs)
+{
+    double total = 0.0;
+    flashmem::ThreadPool pool(4);
+    for (double x : xs) {
+        pool.submit([&total, x] { total += x; });
+    }
+    return total;
+}
+
+long
+sumCounters(const std::vector<long> &xs)
+{
+    // Integer accumulation is exact and associative: not a finding.
+    long count = 0;
+    flashmem::ThreadPool pool(4);
+    for (long x : xs) {
+        pool.submit([&count, x] { count += x; });
+    }
+    return count;
+}

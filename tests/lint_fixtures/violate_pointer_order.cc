@@ -1,0 +1,24 @@
+// Lint fixture: MUST trip no-pointer-order (and nothing else).
+// Ordering by raw pointer value injects allocation-order
+// nondeterminism into tie-breaks.
+#include <map>
+#include <memory>
+
+struct Job {
+    int prio = 0;
+};
+
+std::map<Job *, int> byIdentity;   // ordered container, pointer key
+
+bool
+beforeByAddress(const Job &a, const Job &b)
+{
+    return (&a < &b);
+}
+
+bool
+beforeBySmartIdentity(const std::shared_ptr<Job> &a,
+                      const std::shared_ptr<Job> &b)
+{
+    return a.get() < b.get();
+}

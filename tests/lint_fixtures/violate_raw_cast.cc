@@ -1,0 +1,35 @@
+// Fixture: no-raw-cast must flag reinterpret_cast and const_cast.
+// Compiled never, linted always (tests/test_flashmem_lint.py).
+
+#include <cstdint>
+#include <cstring>
+#include <ostream>
+
+namespace fixture {
+
+// VIOLATION: type punning a double through reinterpret_cast bakes the
+// host's byte order and alignment into the serialized stream.
+void writeRaw(std::ostream &os, double v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof v);
+}
+
+// VIOLATION: const_cast hides mutation from the determinism tests.
+void scribble(const std::int64_t &slot)
+{
+    const_cast<std::int64_t &>(slot) = 0;
+}
+
+// OK: memcpy through a char buffer is the approved replacement and
+// must not be flagged.
+void writeSafe(std::ostream &os, double v)
+{
+    char buf[sizeof v];
+    std::memcpy(buf, &v, sizeof buf);
+    os.write(buf, sizeof buf);
+}
+
+// OK: static_cast is value conversion, not type punning.
+std::int64_t narrow(double v) { return static_cast<std::int64_t>(v); }
+
+} // namespace fixture

@@ -1,0 +1,29 @@
+// Lint fixture: MUST trip uninitialized-member (and nothing else).
+// Aggregate config structs rely on zero-init discipline; a field
+// someone forgets to set reads indeterminate garbage.
+#ifndef FLASHMEM_TESTS_LINT_FIXTURES_VIOLATE_UNINITIALIZED_MEMBER_HH
+#define FLASHMEM_TESTS_LINT_FIXTURES_VIOLATE_UNINITIALIZED_MEMBER_HH
+
+#include <string>
+#include <vector>
+
+enum class FixtureMode { Off, On };
+
+struct FixtureConfig {
+    int budget;                    // finding: scalar, no initializer
+    double rate;                   // finding: scalar, no initializer
+    FixtureMode mode;              // finding: enum, no initializer
+    const char *label;             // finding: pointer, no initializer
+    int initialized = 3;           // ok: initialized
+    bool flagged{false};           // ok: brace-initialized
+    std::string name;              // ok: class type, default ctor
+    std::vector<int> history;      // ok: class type, default ctor
+};
+
+struct FixtureWithCtor {
+    // ok: a constructor owns member init; the aggregate rule is off.
+    FixtureWithCtor(int v) : value(v) {}
+    int value;
+};
+
+#endif

@@ -1,0 +1,29 @@
+// Lint fixture: MUST trip no-unordered-iteration (and nothing else).
+// A range-for over an unordered map appends to an ordered vector, so
+// the emitted order depends on hash-table iteration order.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string>
+dumpPlans(const std::unordered_map<int, std::string> &plans)
+{
+    std::vector<std::string> out;
+    for (const auto &[id, plan] : plans) {
+        out.push_back(plan);
+    }
+    return out;
+}
+
+int
+countLong(const std::unordered_map<int, std::string> &plans)
+{
+    // Order-insensitive reduction over the same container: not a
+    // finding; the check keys on ordered sinks in the body.
+    int n = 0;
+    for (const auto &[id, plan] : plans) {
+        if (plan.size() > 8)
+            ++n;
+    }
+    return n;
+}

@@ -1,0 +1,16 @@
+// Lint fixture: MUST trip no-wall-clock (and nothing else).
+// Wall-clock reads and stdlib randomness outside the benchmark
+// timing harness make results differ run to run.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+long
+jitterNs()
+{
+    auto now = std::chrono::steady_clock::now();
+    (void)now;
+    std::random_device rd;
+    std::mt19937 gen(rd());
+    return static_cast<long>(gen()) + std::rand();
+}

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <set>
 #include <thread>
@@ -651,10 +652,11 @@ TEST(PlanMemo, LoadRejectsMissingCorruptAndWrongVersionFiles)
     {
         std::ofstream out(wrong_version, std::ios::binary);
         std::uint32_t magic = 0x464D504D, version = 999;
-        out.write(reinterpret_cast<const char *>(&magic),
-                  sizeof(magic));
-        out.write(reinterpret_cast<const char *>(&version),
-                  sizeof(version));
+        char buf[sizeof(magic)];
+        std::memcpy(buf, &magic, sizeof buf);
+        out.write(buf, sizeof buf);
+        std::memcpy(buf, &version, sizeof buf);
+        out.write(buf, sizeof buf);
     }
     EXPECT_FALSE(memo.loadFromFile(wrong_version));
 

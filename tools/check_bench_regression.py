@@ -95,14 +95,32 @@ def check_keyed_rows(name, key, old_rows, new_rows, failures, check):
         check(k, old_by[k], row)
 
 
+def load_snapshot(path, label):
+    """Parse one snapshot; unreadable or malformed files are a usage
+    error (exit 2), distinct from a regression verdict (exit 1)."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        print(f"cannot read {label} snapshot {path}: {e}",
+              file=sys.stderr)
+        return None
+    except json.JSONDecodeError as e:
+        print(f"malformed JSON in {label} snapshot {path}: {e}",
+              file=sys.stderr)
+        return None
+
+
 def main() -> int:
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)
         return 2
-    with open(sys.argv[1]) as f:
-        old = json.load(f)
-    with open(sys.argv[2]) as f:
-        new = json.load(f)
+    old = load_snapshot(sys.argv[1], "committed")
+    if old is None:
+        return 2
+    new = load_snapshot(sys.argv[2], "fresh")
+    if new is None:
+        return 2
 
     failures = []
 

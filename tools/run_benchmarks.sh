@@ -39,6 +39,19 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-bench"
 
+# The perf snapshot is only trustworthy if the determinism gate runs
+# with it: a test build dir configured before the lint was registered
+# silently skips it on every ctest invocation. Nag (don't fail — this
+# script's job is the perf snapshot) until the dir is reconfigured.
+if [[ -f "${repo_root}/build/CTestTestfile.cmake" ]] &&
+   ! grep -rq "flashmem_lint" "${repo_root}/build/CTestTestfile.cmake" \
+        "${repo_root}/build/tests/CTestTestfile.cmake" 2>/dev/null; then
+    echo "note: ${repo_root}/build predates the flashmem_lint ctest" \
+         "gate and is silently skipping it; reconfigure with" \
+         "'cmake -B build -S .' so ctest enforces the determinism" \
+         "rules." >&2
+fi
+
 gate=1
 only=""
 while [[ $# -gt 0 ]]; do

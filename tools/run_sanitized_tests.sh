@@ -8,10 +8,13 @@
 # Each sanitizer gets its own build directory (build-asan /
 # build-tsan) so instrumented objects never mix with the plain build.
 #
-# Usage: tools/run_sanitized_tests.sh [address|thread]
-#   With no argument both sanitizers run. Extra ctest arguments can
-#   be passed via CTEST_ARGS, e.g. CTEST_ARGS="-R Faults" to iterate
-#   on the fault-injection tests alone.
+# Usage: tools/run_sanitized_tests.sh [address|thread|undefined]
+#   With no argument both address and thread run ('all'); the address
+#   build already folds UBSan in, so 'undefined' is the standalone
+#   UBSan build for isolating alignment/overflow reports from ASan
+#   noise. Extra ctest arguments can be passed via CTEST_ARGS, e.g.
+#   CTEST_ARGS="-R Faults" to iterate on the fault-injection tests
+#   alone.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -31,12 +34,15 @@ run_one() {
     # scrolling past; the TSan history size covers the long-running
     # serving cross-validation tests.
     local env_prefix=()
-    if [ "$san" = address ]; then
-        env_prefix=(env ASAN_OPTIONS=halt_on_error=1
-                    UBSAN_OPTIONS=halt_on_error=1)
-    else
-        env_prefix=(env TSAN_OPTIONS="halt_on_error=1 history_size=7")
-    fi
+    case "$san" in
+        address)
+            env_prefix=(env ASAN_OPTIONS=halt_on_error=1
+                        UBSAN_OPTIONS=halt_on_error=1) ;;
+        undefined)
+            env_prefix=(env UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1") ;;
+        *)
+            env_prefix=(env TSAN_OPTIONS="halt_on_error=1 history_size=7") ;;
+    esac
     # -j needs an explicit count here: a bare -j would swallow the
     # first CTEST_ARGS token as its value.
     (cd "$build_dir" &&
@@ -45,8 +51,8 @@ run_one() {
 }
 
 case "$requested" in
-    address|thread) run_one "$requested" ;;
+    address|thread|undefined) run_one "$requested" ;;
     all) run_one address; run_one thread ;;
-    *)  echo "usage: $0 [address|thread]" >&2; exit 2 ;;
+    *)  echo "usage: $0 [address|thread|undefined]" >&2; exit 2 ;;
 esac
 echo "sanitized test run: PASS"
