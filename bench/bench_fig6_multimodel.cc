@@ -18,6 +18,12 @@
  * PlanMemos and fail unless the outcomes (timelines, re-plan counts,
  * memory) are identical — the ctest-registered scheduler determinism
  * check.
+ *
+ * `--trace PATH`: run the five-model queue under the memory-aware
+ * re-planning policy with a TraceRecorder attached and export
+ * Chrome/Perfetto trace-event JSON (ui.perfetto.dev) — the planner
+ * track carries the replan and per-window solver events this bench
+ * uniquely exercises.
  */
 
 #include "bench/harness.hh"
@@ -27,6 +33,7 @@
 #include <sstream>
 
 #include "multidnn/scheduler.hh"
+#include "obs/trace.hh"
 
 namespace {
 
@@ -93,6 +100,46 @@ runDeterminismCheck()
     return identical && replanned ? 0 : 1;
 }
 
+/** `--trace PATH`: the five-model memory-aware run, traced and
+ * exported for ui.perfetto.dev (planner + device + request tracks). */
+int
+runTraceExport(const char *path)
+{
+    auto dev = gpusim::DeviceProfile::onePlus12();
+    core::FlashMemOptions opt;
+    opt.opg.mPeak = mib(1024);
+    opt.opg.lambda = 0.5;
+    core::FlashMem fm(dev, opt);
+
+    obs::TraceRecorder rec;
+    multidnn::SchedulerConfig cfg;
+    cfg.capacityBudget = gib(1.5);
+    cfg.trace = &rec;
+    multidnn::EventScheduler sched(fm, cfg);
+    auto queue = multidnn::interleavedWorkload(
+        {ModelId::DepthAnythingS, ModelId::ViT, ModelId::SDUNet,
+         ModelId::WhisperMedium, ModelId::GPTNeo1_3B},
+        /*iterations=*/3, /*gap=*/0, /*seed=*/99);
+    auto out = sched.run(queue, multidnn::MemoryAwarePolicy{});
+
+    std::ofstream os(path);
+    rec.writeChromeJson(os);
+    bool ok = os.good();
+    std::size_t solver_windows = 0;
+    for (const auto &e : rec.events())
+        solver_windows += e.kind == obs::EventKind::SolverWindow;
+    std::cout << "perfetto trace: " << queue.size()
+              << " requests, " << out.replans << " re-plans, "
+              << solver_windows << " solver windows, " << rec.size()
+              << " events -> " << path << "\n";
+    // The export must carry the planner-side events this bench is
+    // the canonical producer of.
+    ok &= out.replans > 0 && solver_windows > 0;
+    if (!ok)
+        std::cerr << "trace export failed shape check or write\n";
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -103,6 +150,8 @@ main(int argc, char **argv)
 
     if (argc > 1 && std::strcmp(argv[1], "--determinism") == 0)
         return runDeterminismCheck();
+    if (argc > 2 && std::strcmp(argv[1], "--trace") == 0)
+        return runTraceExport(argv[2]);
 
     printHeading(std::cout,
                  "Figure 6: multi-model FIFO memory behaviour");

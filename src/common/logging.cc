@@ -2,23 +2,60 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace flashmem {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+
+/** FLASHMEM_LOG_LEVEL: silent|error|warn|info|debug (default warn,
+ * so benches stay clean); unknown values fall back to warn with a
+ * note, so a typo cannot silently mute diagnostics. */
+LogLevel
+levelFromEnv()
+{
+    // FMLINT(allow:no-wall-clock) getenv is process config, not time
+    const char *env = std::getenv("FLASHMEM_LOG_LEVEL");
+    if (!env || !*env)
+        return LogLevel::Warn;
+    if (!std::strcmp(env, "silent"))
+        return LogLevel::Silent;
+    if (!std::strcmp(env, "error"))
+        return LogLevel::Error;
+    if (!std::strcmp(env, "warn"))
+        return LogLevel::Warn;
+    if (!std::strcmp(env, "info"))
+        return LogLevel::Info;
+    if (!std::strcmp(env, "debug"))
+        return LogLevel::Debug;
+    std::fprintf(stderr,
+                 "warn: FLASHMEM_LOG_LEVEL='%s' not recognized "
+                 "(silent|error|warn|info|debug); using warn\n",
+                 env);
+    return LogLevel::Warn;
+}
+
+/** Function-local static so the env read happens on first use, not
+ * at some unspecified static-init point. */
+LogLevel &
+levelRef()
+{
+    static LogLevel level = levelFromEnv();
+    return level;
+}
+
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    levelRef() = level;
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return levelRef();
 }
 
 namespace detail {
@@ -38,23 +75,30 @@ panicImpl(const char *file, int line, const std::string &msg)
 }
 
 void
+errorImpl(const std::string &msg)
+{
+    if (levelRef() >= LogLevel::Error)
+        std::fprintf(stderr, "error: %s\n", msg.c_str());
+}
+
+void
 warnImpl(const std::string &msg)
 {
-    if (g_level >= LogLevel::Warn)
+    if (levelRef() >= LogLevel::Warn)
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (g_level >= LogLevel::Info)
+    if (levelRef() >= LogLevel::Info)
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 void
 debugImpl(const std::string &msg)
 {
-    if (g_level >= LogLevel::Debug)
+    if (levelRef() >= LogLevel::Debug)
         std::fprintf(stderr, "debug: %s\n", msg.c_str());
 }
 

@@ -9,6 +9,7 @@
 #ifndef FLASHMEM_COMMON_LOGGING_HH
 #define FLASHMEM_COMMON_LOGGING_HH
 
+#include <cstddef>
 #include <sstream>
 #include <string>
 
@@ -17,7 +18,12 @@ namespace flashmem {
 /** Verbosity levels for the global logger. */
 enum class LogLevel { Silent, Error, Warn, Info, Debug };
 
-/** Set the process-wide verbosity (default Warn, so benches stay clean). */
+/**
+ * Set the process-wide verbosity. The initial level comes from the
+ * FLASHMEM_LOG_LEVEL environment variable
+ * (silent|error|warn|info|debug), defaulting to Warn so benches stay
+ * clean; this setter overrides it for the rest of the process.
+ */
 void setLogLevel(LogLevel level);
 
 /** Current process-wide verbosity. */
@@ -29,6 +35,7 @@ namespace detail {
                             const std::string &msg);
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);
+void errorImpl(const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 void debugImpl(const std::string &msg);
@@ -61,6 +68,14 @@ panic(const char *file, int line, Args &&...args)
     detail::panicImpl(file, line, detail::concat(std::forward<Args>(args)...));
 }
 
+/** Non-fatal error report (survivable, but louder than a warning). */
+template <typename... Args>
+void
+error(Args &&...args)
+{
+    detail::errorImpl(detail::concat(std::forward<Args>(args)...));
+}
+
 /** Non-fatal warning about suspicious but survivable conditions. */
 template <typename... Args>
 void
@@ -84,6 +99,46 @@ debugLog(Args &&...args)
 {
     detail::debugImpl(detail::concat(std::forward<Args>(args)...));
 }
+
+/**
+ * Rate limiter for a recurring warning site: the first `limit`
+ * invocations warn normally, then a single note that further
+ * occurrences are suppressed. Deliberately count-based, never
+ * time-based — a wall-clock window would make the warning stream
+ * (and anything that parses it) non-deterministic, which the
+ * no-wall-clock lint forbids outside bench/. One instance per
+ * warning site (typically a function-local static or a member).
+ */
+class RateLimitedWarn
+{
+  public:
+    explicit RateLimitedWarn(std::size_t limit = 10) : limit_(limit) {}
+
+    template <typename... Args>
+    void
+    operator()(Args &&...args)
+    {
+        ++seen_;
+        if (seen_ <= limit_)
+            warn(std::forward<Args>(args)...);
+        else if (seen_ == limit_ + 1)
+            warn("(further identical warnings suppressed after ",
+                 limit_, " occurrences)");
+    }
+
+    /** Total invocations, emitted or not. */
+    std::size_t seen() const { return seen_; }
+    /** Invocations swallowed past the limit. */
+    std::size_t
+    suppressed() const
+    {
+        return seen_ > limit_ ? seen_ - limit_ : 0;
+    }
+
+  private:
+    std::size_t limit_;
+    std::size_t seen_ = 0;
+};
 
 } // namespace flashmem
 

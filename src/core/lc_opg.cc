@@ -377,6 +377,8 @@ LcOpgPlanner::solveWindow(const WindowInput &in) const
             // FMLINT(allow:float-accumulation-order) per-window accumulator owned by this task; totals merge in submission order
             result.solveSeconds += r.wallSeconds;
             result.decisions += r.decisions;
+            result.propagations += r.propagations;
+            result.conflicts += r.backtracks;
             result.restarts += r.restarts;
             result.status = r.status;
 
@@ -652,12 +654,18 @@ LcOpgPlanner::plan(PlanStats *stats)
         rebalanceMerge(plan, local);
     local.mergeSeconds = secondsSince(merge_t0);
 
+    local.windowSummaries.reserve(outputs.size());
     for (const auto &out : outputs) {
         const auto &wr = out.result;
+        local.windowSummaries.push_back(
+            {local.windows, wr.status, wr.usedGreedy, wr.decisions,
+             wr.propagations, wr.conflicts, wr.restarts});
         ++local.windows;
         local.buildModelSeconds += wr.buildSeconds;
         local.solveCpuSeconds += wr.solveSeconds;
         local.solverDecisions += wr.decisions;
+        local.solverPropagations += wr.propagations;
+        local.solverConflicts += wr.conflicts;
         local.solverRestarts += wr.restarts;
         local.softRelaxations += wr.softRelaxations;
         local.forcedPreloads += wr.forcedPreloads;

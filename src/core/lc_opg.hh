@@ -134,6 +134,23 @@ struct OpgParams
 /** Offline-stage statistics (paper Table 4 columns). */
 struct PlanStats
 {
+    /**
+     * Per-window solve summary, in window (layer) order — the order
+     * futures are consumed in, so the vector is identical for any
+     * solver thread count. Consumed by the obs tracing layer
+     * (SolverWindow events) and available for triage.
+     */
+    struct WindowSolveSummary
+    {
+        int window = 0;
+        solver::SolveStatus status = solver::SolveStatus::Optimal;
+        bool usedGreedy = false;
+        std::uint64_t decisions = 0;
+        std::uint64_t propagations = 0;
+        std::uint64_t conflicts = 0; ///< search backtracks
+        std::uint64_t restarts = 0;
+    };
+
     double processNodesSeconds = 0.0;   ///< graph analysis + capacities
     double stageSeconds = 0.0;          ///< window staging (sequential)
     double buildModelSeconds = 0.0;     ///< CP model construction (CPU, summed)
@@ -158,6 +175,9 @@ struct PlanStats
     std::uint64_t solverRestarts = 0;   ///< Luby restarts across windows
     std::uint64_t memoHits = 0;         ///< plan-memo warm starts used
     std::uint64_t memoStores = 0;       ///< incumbents written back
+    std::uint64_t solverPropagations = 0; ///< constraint revisions
+    std::uint64_t solverConflicts = 0;    ///< search backtracks
+    std::vector<WindowSolveSummary> windowSummaries;
 };
 
 /** Produces overlap plans for one graph on one device. */
@@ -203,6 +223,8 @@ class LcOpgPlanner
         int forcedPreloads = 0;
         solver::SolveStatus status = solver::SolveStatus::Optimal;
         std::uint64_t decisions = 0;
+        std::uint64_t propagations = 0;
+        std::uint64_t conflicts = 0; ///< search backtracks
         std::uint64_t restarts = 0;
         double buildSeconds = 0.0;
         double solveSeconds = 0.0;

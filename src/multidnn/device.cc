@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace flashmem::multidnn {
 
@@ -297,6 +298,10 @@ DeviceCluster::crash(int device, SimTime now)
     // Device memory is gone with the device: every resident plan must
     // be re-planned (warm through the PlanMemo) after the rejoin.
     d.residentPlanBudget.clear();
+    if (trace_)
+        trace_->deviceHealthChange(
+            now, d.id, static_cast<std::int64_t>(d.health),
+            d.crashDown ? 1 : 0, d.probationUntil);
 }
 
 void
@@ -307,6 +312,10 @@ DeviceCluster::markDown(int device, SimTime now)
               "markDown on a device already down");
     // Wedged, not dead: plan residency survives the outage.
     takeDown(d, now, /*crashed=*/false);
+    if (trace_)
+        trace_->deviceHealthChange(
+            now, d.id, static_cast<std::int64_t>(d.health),
+            d.crashDown ? 1 : 0, d.probationUntil);
 }
 
 void
@@ -323,6 +332,10 @@ DeviceCluster::rejoin(int device, SimTime now, SimTime probation)
     d.computeBusyUntil = now;
     d.dmaBusyUntil = now;
     d.undo.valid = false;
+    if (trace_)
+        trace_->deviceHealthChange(
+            now, d.id, static_cast<std::int64_t>(d.health),
+            /*crash_down=*/0, d.probationUntil);
 }
 
 void

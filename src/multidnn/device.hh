@@ -28,6 +28,10 @@
 #include "common/types.hh"
 #include "models/model_zoo.hh"
 
+namespace flashmem::obs {
+class TraceRecorder;
+} // namespace flashmem::obs
+
 namespace flashmem::multidnn {
 
 /** Placement strategies for picking a device per dispatched request. */
@@ -298,10 +302,16 @@ class DeviceCluster
      * interval up to the makespan. */
     std::vector<DeviceUtilization> utilization(SimTime makespan) const;
 
+    /** Attach (or detach, with null) a trace recorder receiving
+     * DeviceHealthChange events from the fault transitions. The event
+     * loop calls this itself when it is handed a recorder. */
+    void setTrace(obs::TraceRecorder *trace) { trace_ = trace; }
+
   private:
     ClusterConfig cfg_;
     std::unique_ptr<PlacementPolicy> placement_;
     std::vector<DeviceState> devices_;
+    obs::TraceRecorder *trace_ = nullptr;
     /** Scratch candidate buffer reused across pickDevice calls (the
      * loop is single-threaded per cluster), keeping the fast
      * simulator's per-request dispatch allocation-free. */

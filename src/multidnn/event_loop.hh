@@ -57,8 +57,34 @@
 #include "multidnn/faults.hh"
 #include "multidnn/policies.hh"
 #include "multidnn/workload.hh"
+#include "obs/trace.hh"
 
 namespace flashmem::multidnn {
+
+/** @name obs payload-code pins.
+ * obs/trace.cc renders numeric payload codes with its own name tables
+ * (obs depends only on common/ and models/); these asserts keep the
+ * multidnn enums from drifting out from under them. @{ */
+static_assert(static_cast<int>(Admission::Admit) == 0 &&
+                  static_cast<int>(Admission::Degrade) == 1 &&
+                  static_cast<int>(Admission::Shed) == 2,
+              "obs::admissionVerdictCodeName mirrors these values");
+static_assert(static_cast<int>(DropReason::Admission) == 0 &&
+                  static_cast<int>(DropReason::FaultBudget) == 1 &&
+                  static_cast<int>(DropReason::Starved) == 2 &&
+                  static_cast<int>(DropReason::ArrivalShed) == 3,
+              "obs::dropReasonCodeName mirrors these values");
+static_assert(static_cast<int>(FaultKind::Crash) == 0 &&
+                  static_cast<int>(FaultKind::Rejoin) == 1 &&
+                  static_cast<int>(FaultKind::Stall) == 2 &&
+                  static_cast<int>(FaultKind::Slowdown) == 3 &&
+                  static_cast<int>(FaultKind::DmaError) == 4,
+              "obs::faultKindCodeName mirrors these values");
+static_assert(static_cast<int>(DeviceHealth::Healthy) == 0 &&
+                  static_cast<int>(DeviceHealth::Suspect) == 1 &&
+                  static_cast<int>(DeviceHealth::Down) == 2,
+              "obs::deviceHealthCodeName mirrors these values");
+/** @} */
 
 /** What a dispatch hook reports back to the loop: where the run
  * landed and the times the cluster placed it at. */
@@ -104,6 +130,12 @@ struct DispatchedRun
  *     with DropReason::ArrivalShed before it occupies a queue slot;
  *     Degrade marks it sticky-degraded on entry. Null keeps the
  *     historical dispatch-point-only behaviour bit-identically.
+ * @param trace optional obs::TraceRecorder receiving the typed event
+ *     stream (arrivals, admission verdicts, dispatches, completions,
+ *     sheds, retries, faults, device health). Null — the default —
+ *     compiles every hook down to a skipped pointer test, so the hot
+ *     path cost is zero when tracing is off. The loop also hands the
+ *     recorder to the cluster for device-health events.
  */
 template <typename MakeReadyFn, typename DispatchFn,
           typename CompleteFn, typename DropFn>
@@ -116,8 +148,10 @@ drainClusterQueue(const std::vector<ModelRequest> &queue,
                   const FaultPlan *faults = nullptr,
                   const RecoveryConfig &recovery = {},
                   FaultCounters *counters = nullptr,
-                  const ArrivalAdmission *arrival = nullptr)
+                  const ArrivalAdmission *arrival = nullptr,
+                  obs::TraceRecorder *trace = nullptr)
 {
+    cluster.setTrace(trace);
     /** One event of the simulation clock. */
     struct Event
     {
@@ -183,9 +217,19 @@ drainClusterQueue(const std::vector<ModelRequest> &queue,
     };
     auto flushWindow = [&] {
         while (!window.empty() && window.front().state != Flight::Live) {
-            if (window.front().state == Flight::Completed)
+            if (window.front().state == Flight::Completed) {
+                if (trace) {
+                    const Flight &f = window.front();
+                    trace->requestComplete(
+                        f.run.times.end, f.req.queueIndex,
+                        static_cast<std::int64_t>(window_base),
+                        f.run.device,
+                        static_cast<std::int32_t>(f.req.model),
+                        f.run.times.start, f.run.times.initDone);
+                }
                 onComplete(window.front().req, window.front().run,
                            window_base);
+            }
             window.pop_front();
             ++window_base;
         }
@@ -198,6 +242,18 @@ drainClusterQueue(const std::vector<ModelRequest> &queue,
 
     std::vector<ReadyRequest> ready;
     std::vector<ReadyRequest> retry_pool;
+
+    // Every drop funnels through here so the trace never loses a
+    // request: the shed event carries the reason and attempt count.
+    auto drop = [&](const ReadyRequest &r, SimTime t,
+                    DropReason reason) {
+        if (trace)
+            trace->requestShed(t, r.queueIndex,
+                               static_cast<std::int32_t>(r.model),
+                               static_cast<std::int64_t>(reason),
+                               r.attempts);
+        onDrop(r, t, reason);
+    };
 
     // Kill one live run: resolve its window entry and either schedule
     // a backoff retry or fault-shed the request. Cluster-side state
@@ -212,7 +268,7 @@ drainClusterQueue(const std::vector<ModelRequest> &queue,
         if (req.attempts > recovery.maxRetries) {
             if (counters)
                 ++counters->faultSheds;
-            onDrop(req, now, DropReason::FaultBudget);
+            drop(req, now, DropReason::FaultBudget);
             return;
         }
         if (counters)
@@ -223,6 +279,11 @@ drainClusterQueue(const std::vector<ModelRequest> &queue,
             backoff *= 2;
         backoff = std::min(backoff,
                            std::max<SimTime>(recovery.backoffCap, 1));
+        if (trace)
+            trace->retryScheduled(now, req.queueIndex,
+                                  static_cast<std::int32_t>(req.model),
+                                  now + backoff, req.attempts,
+                                  req.lastFailedDevice);
         events.push({now + backoff, Event::Retry, retry_pool.size()});
         retry_pool.push_back(req);
     };
@@ -283,8 +344,16 @@ drainClusterQueue(const std::vector<ModelRequest> &queue,
             if (arrival) {
                 auto verdict =
                     arrival->admitAtArrival(now, r, ready, cluster);
+                // Emitted here — not by the gate — because both
+                // execution paths share one gate object but carry
+                // their own recorders.
+                if (trace)
+                    trace->admissionVerdict(
+                        now, r.queueIndex,
+                        static_cast<std::int32_t>(r.model),
+                        static_cast<std::int64_t>(verdict), -1);
                 if (verdict == Admission::Shed) {
-                    onDrop(r, now, DropReason::ArrivalShed);
+                    drop(r, now, DropReason::ArrivalShed);
                     return true;
                 }
                 if (verdict == Admission::Degrade)
@@ -296,10 +365,17 @@ drainClusterQueue(const std::vector<ModelRequest> &queue,
         };
 
         switch (ev.kind) {
-          case Event::Arrival:
-            if (!enterReady(makeReady(ev.seq)))
+          case Event::Arrival: {
+            ReadyRequest r = makeReady(ev.seq);
+            if (trace)
+                trace->requestArrival(
+                    now, r.queueIndex,
+                    static_cast<std::int32_t>(r.model),
+                    r.latencyBound);
+            if (!enterReady(std::move(r)))
                 return false;
             break;
+          }
           case Event::Retry:
             if (!enterReady(retry_pool[ev.seq]))
                 return false;
@@ -327,6 +403,11 @@ drainClusterQueue(const std::vector<ModelRequest> &queue,
             const auto &fe = faults->events[ev.seq];
             const auto &dev =
                 cluster.devices()[static_cast<std::size_t>(fe.device)];
+            if (trace)
+                trace->faultInjected(
+                    now, ev.seq, fe.device,
+                    static_cast<std::int64_t>(fe.kind), fe.duration,
+                    std::llround(fe.factor * 1000.0));
             switch (fe.kind) {
               case FaultKind::Crash:
                 if (dev.health == DeviceHealth::Down)
@@ -470,7 +551,7 @@ drainClusterQueue(const std::vector<ModelRequest> &queue,
                  policy.needsAdmission() && i < ready.size();) {
                 auto verdict = policy.admit(now, ready[i]);
                 if (verdict == Admission::Shed) {
-                    onDrop(ready[i], now, DropReason::Admission);
+                    drop(ready[i], now, DropReason::Admission);
                     ready.erase(ready.begin() +
                                 static_cast<std::ptrdiff_t>(i));
                     continue;
@@ -491,6 +572,13 @@ drainClusterQueue(const std::vector<ModelRequest> &queue,
 
             std::uint64_t run_id = next_run_id++;
             auto run = dispatch(picked, ready, now, run_id);
+            if (trace)
+                trace->requestDispatch(
+                    now, picked.queueIndex,
+                    static_cast<std::int64_t>(run_id), run.device,
+                    static_cast<std::int32_t>(picked.model),
+                    run.times.start, run.times.initDone,
+                    run.times.end);
             if (counters && picked.attempts > 0 &&
                 run.device != picked.lastFailedDevice)
                 ++counters->failovers;
@@ -512,7 +600,7 @@ drainClusterQueue(const std::vector<ModelRequest> &queue,
     for (const auto &r : ready) {
         if (counters)
             ++counters->starved;
-        onDrop(r, now, DropReason::Starved);
+        drop(r, now, DropReason::Starved);
     }
     return true;
 }

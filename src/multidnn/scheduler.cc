@@ -151,7 +151,8 @@ EventScheduler::drain(DeviceCluster &cluster,
                       const DispatchFn &dispatch,
                       const FaultPlan *faults,
                       const RecoveryConfig &recovery,
-                      const ArrivalAdmission *arrival)
+                      const ArrivalAdmission *arrival,
+                      obs::TraceRecorder *trace)
 {
     ScheduleOutcome out;
     out.policy = policy.name();
@@ -220,7 +221,8 @@ EventScheduler::drain(DeviceCluster &cluster,
             out.shed.push_back({r.queueIndex, r.model, r.arrival,
                                 r.latencyBound, now, reason});
         },
-        /*ready_limit=*/0, faults, recovery, &out.faults, arrival);
+        /*ready_limit=*/0, faults, recovery, &out.faults, arrival,
+        trace);
     return out;
 }
 
@@ -352,8 +354,34 @@ EventScheduler::run(const std::vector<ModelRequest> &queue,
             }
             int dev = cluster.pickDevice(now, picked.model, budget);
             auto &sim = sims[static_cast<std::size_t>(dev)];
+            // Any on-device re-plan for this (model, budget) happens
+            // inside this call; a bumped counter means the returned
+            // artifact was just re-planned and its stats describe
+            // that solve — emit the planner-side trace events at the
+            // dispatch instant that triggered them.
+            const int replans_before = replan_acc.replans;
             const auto &cm = compiledFor(picked.model, budget,
                                          replan_acc);
+            if (cfg_.trace && replan_acc.replans > replans_before) {
+                const auto &st = cm.stats;
+                cfg_.trace->replan(
+                    now, static_cast<std::int32_t>(picked.model),
+                    static_cast<std::int64_t>(budget),
+                    static_cast<std::int64_t>(st.memoHits),
+                    st.windows);
+                for (const auto &w : st.windowSummaries)
+                    cfg_.trace->solverWindow(
+                        now, static_cast<std::uint64_t>(w.window),
+                        static_cast<std::int32_t>(picked.model),
+                        static_cast<std::int64_t>(w.conflicts),
+                        static_cast<std::int64_t>(w.restarts),
+                        static_cast<std::int64_t>(w.propagations),
+                        !w.usedGreedy &&
+                                w.status ==
+                                    solver::SolveStatus::Optimal
+                            ? 1
+                            : 0);
+            }
             core::RunResult r;
             if (!cluster.overlap() && !faulty) {
                 // Serialized device: the streamed execution runs on a
@@ -386,7 +414,7 @@ EventScheduler::run(const std::vector<ModelRequest> &queue,
             return {dev, std::move(r)};
         },
         faulty ? &cfg_.faults : nullptr, cfg_.recovery,
-        cfg_.arrivalAdmission);
+        cfg_.arrivalAdmission, cfg_.trace);
     summarize(sims, cluster, out);
     out.replans += replan_acc.replans;
     out.replanMemoHits += replan_acc.replanMemoHits;

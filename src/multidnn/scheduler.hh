@@ -76,6 +76,15 @@ struct SchedulerConfig
      * cluster state and ready sets on both paths by construction).
      */
     const ArrivalAdmission *arrivalAdmission = nullptr;
+    /**
+     * Optional trace recorder (not owned; must outlive the
+     * scheduler's run() calls). Receives the serving event stream
+     * from the shared event loop plus the scheduler's planner-side
+     * events: a Replan event per on-device re-plan and one
+     * SolverWindow summary per solved window of that re-plan. Null
+     * (the default) keeps every hook a skipped pointer test.
+     */
+    obs::TraceRecorder *trace = nullptr;
 };
 
 /**
@@ -221,7 +230,8 @@ class EventScheduler
         const DispatchFn &dispatch,
         const FaultPlan *faults = nullptr,
         const RecoveryConfig &recovery = {},
-        const ArrivalAdmission *arrival = nullptr);
+        const ArrivalAdmission *arrival = nullptr,
+        obs::TraceRecorder *trace = nullptr);
 
     /** Finalize makespan/memory/energy/trace/per-device rows. */
     static void summarize(const std::vector<gpusim::GpuSimulator> &sims,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "profiler/features.hh"
 
 namespace flashmem::serving {
@@ -249,6 +250,25 @@ AdmissionController::admitAtArrival(
     }
     ++decisions_.shed;
     return multidnn::Admission::Shed;
+}
+
+void
+AdmissionController::exportCounters(obs::CounterRegistry &registry)
+    const
+{
+    registry.add("admission.admitted",
+                 static_cast<std::int64_t>(decisions_.admitted));
+    registry.add("admission.degraded",
+                 static_cast<std::int64_t>(decisions_.degraded));
+    registry.add("admission.shed",
+                 static_cast<std::int64_t>(decisions_.shed));
+    registry.add("admission.tier_calibrated",
+                 static_cast<std::int64_t>(decisions_.tierCalibrated));
+    registry.add("admission.tier_predicted",
+                 static_cast<std::int64_t>(decisions_.tierPredicted));
+    registry.add(
+        "admission.tier_pessimistic",
+        static_cast<std::int64_t>(decisions_.tierPessimistic));
 }
 
 ModelMix

@@ -58,6 +58,10 @@
 #include "serving/slo.hh"
 #include "serving/trace_gen.hh"
 
+namespace flashmem::obs {
+class CounterRegistry;
+} // namespace flashmem::obs
+
 namespace flashmem::serving {
 
 /** Which rung of the estimate ladder produced a service estimate. */
@@ -198,6 +202,15 @@ class AdmissionController : public multidnn::ArrivalAdmission
     /** Zero the decision counters (e.g. between the two runs of a
      * cross-validation pair sharing one controller). */
     void resetDecisions() { decisions_ = {}; }
+
+    /**
+     * Export the decision counters into @p registry under
+     * "admission.*" names (obs instrumentation hook; the per-request
+     * AdmissionVerdict trace events are emitted by the event loop,
+     * which carries the per-path recorder — a gate object is shared
+     * across both execution paths by contract).
+     */
+    void exportCounters(obs::CounterRegistry &registry) const;
 
   private:
     const ServiceEstimator &estimator_;

@@ -109,7 +109,7 @@ simulateImpl(const std::vector<ModelRequest> &trace,
         },
         params.readyLimit,
         params.faults.empty() ? nullptr : &params.faults,
-        params.recovery, &out.faults, params.arrival);
+        params.recovery, &out.faults, params.arrival, params.trace);
 
     out.unstable = !stable;
     out.devices = cluster.utilization(out.makespan);

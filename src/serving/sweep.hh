@@ -34,6 +34,10 @@
 #include "serving/slo.hh"
 #include "serving/trace_gen.hh"
 
+namespace flashmem::obs {
+class TraceRecorder;
+} // namespace flashmem::obs
+
 namespace flashmem::serving {
 
 /** Knobs of the fast request-level simulator. */
@@ -63,6 +67,15 @@ struct ServingSimParams
      * cross-validation to stay bit-exact.
      */
     const multidnn::ArrivalAdmission *arrival = nullptr;
+    /**
+     * Optional trace recorder (not owned). Receives the serving
+     * event stream from the shared event loop; with the SAME seed,
+     * config, and gate, its Stream::Serving text export is
+     * byte-identical to a traced EventScheduler run's. Null (the
+     * default) keeps every hook a skipped pointer test, so sweeps
+     * pay nothing.
+     */
+    obs::TraceRecorder *trace = nullptr;
 };
 
 /** Outcome of one simulated serving run. */

@@ -73,6 +73,7 @@ class MissingSection(unittest.TestCase):
         self.assertEqual(rc, 1)
         self.assertIn("serving section missing from the fresh run", err)
         self.assertIn("serving_faults missing from the fresh run", err)
+        self.assertIn("serving_obs missing from the fresh run", err)
 
 
 class RegressionBeyondBound(unittest.TestCase):
@@ -116,6 +117,13 @@ class RegressionBeyondBound(unittest.TestCase):
         self.assertIn("scaling efficiency at 4 devices", self.err)
         self.assertIn("cross-request overlap no longer improves",
                       self.err)
+
+    def test_obs_overhead_noise_outcome_and_dead_trace(self):
+        self.assertIn("tracing-on overhead exceeds 10%", self.err)
+        self.assertIn("tracing-off arms disagree by more than 10%",
+                      self.err)
+        self.assertIn("tracing must observe, never perturb", self.err)
+        self.assertIn("recorded no events", self.err)
 
     def test_within_tolerance_rows_not_flagged(self):
         # The llama2-13b objective and 1-device QPS are unchanged in

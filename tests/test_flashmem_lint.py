@@ -137,6 +137,35 @@ class CliBehaviour(unittest.TestCase):
             "--wallclock-whitelist", "tests/lint_fixtures/")
         self.assertEqual(rc, 0, out)
 
+    def test_wallclock_deny_overrides_whitelist(self):
+        """The deny list wins even when a whitelist entry covers the
+        same path — this is how src/obs/ stays simulation-clock-only
+        no matter how the whitelist evolves."""
+        rc, out, _ = run_lint(
+            fixture("violate_wall_clock.cc"),
+            "--wallclock-whitelist", "tests/lint_fixtures/",
+            "--wallclock-deny", "tests/lint_fixtures/")
+        self.assertEqual(rc, 1, out)
+        self.assertIn("[no-wall-clock]", out)
+
+    def test_wallclock_default_deny_covers_obs(self):
+        """A wall-clock read under src/obs/ must flag under the
+        default deny list, even with a whitelist naming src/."""
+        victim = os.path.join(REPO, "src", "obs",
+                              "wallclock_probe_selftest.cc")
+        try:
+            with open(victim, "w", encoding="utf-8") as f:
+                f.write("#include <chrono>\n"
+                        "auto now() { return std::chrono::"
+                        "system_clock::now(); }\n")
+            rc, out, _ = run_lint(
+                os.path.relpath(victim, REPO),
+                "--wallclock-whitelist", "src/")
+            self.assertEqual(rc, 1, out)
+            self.assertIn("[no-wall-clock]", out)
+        finally:
+            os.unlink(victim)
+
     def test_exclude(self):
         rc, _, err = run_lint(FIXTURES, "--exclude", "lint_fixtures")
         self.assertEqual(rc, 2)

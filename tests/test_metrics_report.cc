@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Golden-string tests for the report renderers (metrics/report.hh):
+ * exact ASCII-chart and quantile-chart output, including the
+ * empty-series and single-point edge cases, and sampleTrace's
+ * degenerate inputs. The renderers feed the committed bench logs, so
+ * their output format is a compatibility surface — any drift should
+ * be a conscious diff here, not a silent bench-log change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/report.hh"
+
+namespace flashmem::metrics {
+namespace {
+
+std::string
+pad(int n)
+{
+    return std::string(static_cast<std::size_t>(n), ' ');
+}
+
+TEST(AsciiChart, EmptySeriesRendersPlaceholder)
+{
+    std::ostringstream os;
+    renderAsciiChart(os, {}, 40, 8);
+    EXPECT_EQ(os.str(), "(empty chart)\n");
+}
+
+TEST(AsciiChart, SinglePointAtOriginRendersPlaceholder)
+{
+    // One sample at t=0 gives a zero-width x axis; the renderer
+    // degrades to the placeholder instead of dividing by zero.
+    ChartSeries s;
+    s.label = "flat";
+    s.points = {{0.0, 100.0}};
+    std::ostringstream os;
+    renderAsciiChart(os, {s}, 40, 8);
+    EXPECT_EQ(os.str(), "(empty chart)\n");
+}
+
+TEST(AsciiChart, TwoSeriesGolden)
+{
+    ChartSeries a;
+    a.label = "ramp";
+    a.glyph = '*';
+    a.points = {{0.0, 0.0}, {1.0, 50.0}, {2.0, 100.0}};
+    ChartSeries b;
+    b.label = "flat";
+    b.glyph = '+';
+    b.points = {{0.0, 60.0}, {2.0, 60.0}};
+
+    std::ostringstream os;
+    renderAsciiChart(os, {a, b}, 40, 8);
+    std::string expected =
+        "100 MB\n"
+        "  |" + pad(39) + "*\n" +
+        "  |" + pad(40) + "\n" +
+        "  |" + pad(40) + "\n" +
+        "  |+" + pad(38) + "+\n" +
+        "  |" + pad(19) + "*" + pad(20) + "\n" +
+        "  |" + pad(40) + "\n" +
+        "  |" + pad(40) + "\n" +
+        "  |*" + pad(39) + "\n" +
+        "  +" + std::string(40, '-') + "> 2.0 s\n" +
+        "   * = ramp\n"
+        "   + = flat\n";
+    EXPECT_EQ(os.str(), expected);
+}
+
+TEST(QuantileChart, EmptyRowsRendersPlaceholder)
+{
+    std::ostringstream os;
+    renderQuantileChart(os, {}, 40);
+    EXPECT_EQ(os.str(), "(empty chart)\n");
+}
+
+TEST(QuantileChart, TwoRowsGolden)
+{
+    std::ostringstream os;
+    renderQuantileChart(os,
+                        {{"fifo", 10.0, 20.0, 40.0},
+                         {"edf", 5.0, 8.0, 10.0}},
+                        40);
+    std::string expected =
+        "  fifo |---------5---------9-------------------!|"
+        "  p50 10.0  p95 20.0  p99 40.0 ms\n"
+        "  edf  |----5--9-!------------------------------|"
+        "  p50 5.0  p95 8.0  p99 10.0 ms\n"
+        "        0" + pad(39) +
+        "40.0 ms   (5=p50 9=p95 !=p99)\n";
+    EXPECT_EQ(os.str(), expected);
+}
+
+TEST(SampleTrace, DegenerateInputsYieldNoPoints)
+{
+    TimeSeries empty;
+    EXPECT_TRUE(sampleTrace(empty, 5).empty());
+
+    // A single sample spans zero time: nothing to interpolate.
+    TimeSeries single;
+    single.record(0, 1048576.0);
+    EXPECT_TRUE(sampleTrace(single, 5).empty());
+
+    // points <= 1 cannot form a step axis.
+    TimeSeries two;
+    two.record(0, 1048576.0);
+    two.record(seconds(2.0), 3.0 * 1048576.0);
+    EXPECT_TRUE(sampleTrace(two, 1).empty());
+    EXPECT_TRUE(sampleTrace(two, 0).empty());
+}
+
+TEST(SampleTrace, StepSeriesSamplesRightContinuously)
+{
+    TimeSeries t;
+    t.record(0, 1048576.0);
+    t.record(seconds(2.0), 3.0 * 1048576.0);
+    auto pts = sampleTrace(t, 3);
+    ASSERT_EQ(pts.size(), 3u);
+    EXPECT_DOUBLE_EQ(pts[0].seconds, 0.0);
+    EXPECT_DOUBLE_EQ(pts[0].megabytes, 1.0);
+    EXPECT_DOUBLE_EQ(pts[1].seconds, 1.0);
+    EXPECT_DOUBLE_EQ(pts[1].megabytes, 1.0); // step holds until 2 s
+    EXPECT_DOUBLE_EQ(pts[2].seconds, 2.0);
+    EXPECT_DOUBLE_EQ(pts[2].megabytes, 3.0);
+}
+
+} // namespace
+} // namespace flashmem::metrics

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Self-test for tools/trace_diff.py.
+
+The diff tool is the triage entry point when a determinism ctest goes
+red, so its own behavior needs proof-of-life: identical traces must
+exit 0, a perturbed trace must exit 1 AND the report must pinpoint the
+first divergent line (not some later cascade line), and a truncated
+trace must diverge at the cut point.
+
+Run directly or via ctest (trace_diff_selftest).
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TOOL = os.path.join(REPO, "tools", "trace_diff.py")
+
+BASE_TRACE = """\
+[t=0] request_arrival req=0 model=r50 bound=150000000
+[t=0] admission_verdict req=0 model=r50 verdict=admit tier=-1
+[t=0] request_dispatch req=0 run=0 dev=0 model=r50 start=0 init_done=1000 end=2000
+[t=1000] request_arrival req=1 model=vit bound=150000000
+[t=1000] admission_verdict req=1 model=vit verdict=shed tier=-1
+[t=2000] request_complete req=0 run=0 dev=0 model=r50 start=0 init_done=1000
+"""
+
+
+def run_diff(*args):
+    proc = subprocess.run(
+        [sys.executable, TOOL, *args],
+        capture_output=True, text=True, cwd=REPO)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+class TraceDiffTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, text):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+        return path
+
+    def test_identical_traces_exit_zero(self):
+        a = self.write("a.trace", BASE_TRACE)
+        b = self.write("b.trace", BASE_TRACE)
+        rc, out, err = run_diff(a, b)
+        self.assertEqual(rc, 0, f"expected identical\n{out}{err}")
+        self.assertIn("traces identical", out)
+
+    def test_perturbed_trace_pinpoints_first_divergence(self):
+        # Perturb line 4 (the second arrival) AND line 6; the report
+        # must name line 4, not the later cascade difference.
+        lines = BASE_TRACE.splitlines()
+        lines[3] = lines[3].replace("model=vit", "model=gptS")
+        lines[5] = lines[5].replace("init_done=1000", "init_done=900")
+        a = self.write("a.trace", BASE_TRACE)
+        b = self.write("b.trace", "\n".join(lines) + "\n")
+        rc, out, err = run_diff(a, b)
+        self.assertEqual(rc, 1, f"expected divergence\n{out}{err}")
+        self.assertIn("diverge at line 4", out)
+        self.assertIn("model=vit", out)
+        self.assertIn("model=gptS", out)
+
+    def test_truncated_trace_diverges_at_cut(self):
+        lines = BASE_TRACE.splitlines()
+        a = self.write("a.trace", BASE_TRACE)
+        b = self.write("b.trace", "\n".join(lines[:4]) + "\n")
+        rc, out, err = run_diff(a, b)
+        self.assertEqual(rc, 1, f"expected divergence\n{out}{err}")
+        self.assertIn("diverge at line 5", out)
+        self.assertIn("<end of trace>", out)
+
+    def test_context_flag_limits_shown_lines(self):
+        lines = BASE_TRACE.splitlines()
+        lines[5] = lines[5].replace("run=0", "run=7")
+        a = self.write("a.trace", BASE_TRACE)
+        b = self.write("b.trace", "\n".join(lines) + "\n")
+        rc, out, _ = run_diff(a, b, "--context", "1")
+        self.assertEqual(rc, 1)
+        # One context line shown, four omitted.
+        self.assertIn("4 identical line(s) omitted", out)
+
+    def test_unreadable_file_exits_two(self):
+        a = self.write("a.trace", BASE_TRACE)
+        rc, _, err = run_diff(a, os.path.join(self.dir.name, "nope"))
+        self.assertEqual(rc, 2)
+        self.assertIn("cannot read", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -34,7 +34,13 @@ snapshot:
     operating point, any point's max sustainable QPS drops by more
     than 10%, the 4-device scaling efficiency regresses by more than
     10%, or the cross-request overlap demo stops improving the
-    back-to-back makespan.
+    back-to-back makespan, or
+  - the serving_obs section reports tracing-on overhead above 10%
+    of the tracing-off run time, an off-vs-off delta above 10%
+    (tracing disabled must cost nothing, so the two untraced arms
+    must agree to within measurement noise), a traced run whose
+    outcome diverges from the untraced run, or a traced run that
+    recorded no events.
 
 Missing data fails loudly: absent aggregate_wall_speedup fields,
 instances/models/policies present on one side but not the other, and
@@ -54,6 +60,8 @@ SPEEDUP_TOLERANCE = 0.90   # fail below 90% of the committed speedup
 LATENCY_TOLERANCE = 1.10   # fail above 110% of the committed time
 GOODPUT_TOLERANCE = 0.02   # fail on > 2-point absolute goodput drop
 QPS_TOLERANCE = 0.90       # fail below 90% of the committed max QPS
+OBS_OVERHEAD_TOLERANCE = 1.10  # tracing-on must stay within +10%
+OBS_NOISE_TOLERANCE = 0.10     # off-vs-off arms must agree to 10%
 
 
 def check_speedup(old, new, failures):
@@ -415,6 +423,54 @@ def main() -> int:
                 "cross-request overlap no longer improves the "
                 "back-to-back LLM makespan (speedup "
                 f"{new_demo['makespan_speedup']:.3f} <= 1.0)")
+
+    # Observability: the tracing layer's cost contract. The fresh
+    # run's ratios are what the gate judges (the committed ones only
+    # prove the section existed before); overhead above 10% or a
+    # traced/untraced outcome divergence means instrumentation crept
+    # onto the hot path.
+    if "serving_obs" not in old or "serving_obs" not in new:
+        side = ("both snapshots"
+                if "serving_obs" not in old and
+                "serving_obs" not in new else
+                "the committed snapshot"
+                if "serving_obs" not in old else "the fresh run")
+        failures.append(f"serving_obs missing from {side}")
+    else:
+        obs = new["serving_obs"]
+        overhead = obs.get("on_overhead_ratio")
+        if overhead is None:
+            failures.append(
+                "on_overhead_ratio missing from the fresh run")
+        elif overhead > OBS_OVERHEAD_TOLERANCE:
+            failures.append(
+                "tracing-on overhead exceeds 10% of the untraced "
+                f"serving run (ratio {overhead:.3f} > "
+                f"{OBS_OVERHEAD_TOLERANCE:.2f})")
+        else:
+            print(f"tracing-on overhead ratio: {overhead:.3f}")
+
+        noise = obs.get("off_delta_ratio")
+        if noise is None:
+            failures.append(
+                "off_delta_ratio missing from the fresh run")
+        elif noise > OBS_NOISE_TOLERANCE:
+            failures.append(
+                "tracing-off arms disagree by more than 10% "
+                f"(delta {noise:.3f}) — either the null-recorder "
+                "path stopped being free or the measurement is too "
+                "noisy to trust")
+        else:
+            print(f"tracing-off noise floor: {noise:.3f}")
+
+        if not obs.get("outcome_identical", False):
+            failures.append(
+                "traced serving outcome diverged from the untraced "
+                "run — tracing must observe, never perturb")
+        if obs.get("trace_events", 0) <= 0:
+            failures.append(
+                "the traced serving run recorded no events — "
+                "instrumentation went dead")
 
     if failures:
         for f in failures:

@@ -627,10 +627,23 @@ def check_unordered_iteration(unit, symbols, findings):
                 "container instead"))
 
 
-def check_wall_clock(unit, symbols, findings, whitelist):
+def wallclock_exempt(path, whitelist, deny):
+    """True when @p path may read wall clocks: it matches a whitelist
+    prefix and no deny prefix. Deny wins over the whitelist — the
+    observability layer (src/obs/) must stay simulation-clock-only by
+    construction, even if a future whitelist entry happens to cover
+    it. Per-line FMLINT(allow:...) suppressions are unaffected: they
+    stay visible in the source, which is the point."""
+    norm = path.replace(os.sep, "/")
+    if any(norm.startswith(d) or f"/{d}" in norm for d in deny):
+        return False
+    return any(norm.startswith(w) or f"/{w}" in norm
+               for w in whitelist)
+
+
+def check_wall_clock(unit, symbols, findings, whitelist, deny):
     del symbols
-    norm = unit.path.replace(os.sep, "/")
-    if any(norm.startswith(w) or f"/{w}" in norm for w in whitelist):
+    if wallclock_exempt(unit.path, whitelist, deny):
         return
     toks = unit.tokens
     for i, t in enumerate(toks):
@@ -1005,11 +1018,9 @@ class ClangEngine:
         self.args = ["-std=c++20", "-xc++"] + [
             f"-I{d}" for d in include_dirs]
 
-    def run(self, path, findings, whitelist):
+    def run(self, path, findings, whitelist, deny):
         ci = self.cindex
-        norm = path.replace(os.sep, "/")
-        whitelisted = any(norm.startswith(w) or f"/{w}" in norm
-                          for w in whitelist)
+        whitelisted = wallclock_exempt(path, whitelist, deny)
         tu = ci.Index.create().parse(path, args=self.args)
         for cur in tu.cursor.walk_preorder():
             if cur.location.file is None or \
@@ -1055,7 +1066,7 @@ def gather_files(paths, excludes):
             if not any(x in f for x in excludes)]
 
 
-def run_builtin(files, checks, whitelist, verbose):
+def run_builtin(files, checks, whitelist, deny, verbose):
     units = []
     findings: list[Finding] = []
     for path in files:
@@ -1083,7 +1094,7 @@ def run_builtin(files, checks, whitelist, verbose):
         for name in checks:
             if name == "no-wall-clock":
                 check_wall_clock(unit, symbols, file_findings,
-                                 whitelist)
+                                 whitelist, deny)
             else:
                 BUILTIN_CHECKS[name](unit, symbols, file_findings)
         sups = parse_suppressions(unit.comments, unit.code_lines,
@@ -1124,6 +1135,11 @@ def main(argv=None):
                     default=None,
                     help="path prefixes allowed to read wall clocks "
                          "(default: bench/)")
+    ap.add_argument("--wallclock-deny", action="append",
+                    default=None,
+                    help="path prefixes NEVER allowed to read wall "
+                         "clocks, overriding the whitelist "
+                         "(default: src/obs/)")
     ap.add_argument("--list-checks", action="store_true")
     ap.add_argument("-v", "--verbose", action="store_true")
     args = ap.parse_args(argv)
@@ -1143,6 +1159,9 @@ def main(argv=None):
     whitelist = (args.wallclock_whitelist
                  if args.wallclock_whitelist is not None
                  else ["bench/"])
+    deny = (args.wallclock_deny
+            if args.wallclock_deny is not None
+            else ["src/obs/"])
 
     files = gather_files(args.paths, args.exclude)
     if not files:
@@ -1162,13 +1181,14 @@ def main(argv=None):
         print("flashmem_lint: note: clang engine covers the cursor-"
               "mappable checks; structural checks run via builtin",
               file=sys.stderr)
-    findings = run_builtin(files, checks, whitelist, args.verbose)
+    findings = run_builtin(files, checks, whitelist, deny,
+                           args.verbose)
     if engine == "clang":   # pragma: no cover - env-dependent
         ce = ClangEngine(["src", "."])
         extra: list[Finding] = []
         for path in files:
             if path.endswith((".cc", ".cpp", ".cxx")):
-                ce.run(path, extra, whitelist)
+                ce.run(path, extra, whitelist, deny)
         known = {(f.path, f.line, f.check) for f in findings}
         findings.extend(f for f in extra
                         if (f.path, f.line, f.check) not in known)

@@ -23,16 +23,26 @@
 # snapshot must be regenerated).
 #
 # Pass --only SECTION[,SECTION...] (sections: solver, fig6, serving,
-# admission) to re-run a subset of the benches — e.g. `--only serving`
-# iterates on the 1M-request serving study without re-running the
-# solver suite, and `--only admission` re-runs just the arrival-time
-# admission study (bench_serving --admission-only). The sections not
-# re-run are carried over from the committed snapshot, so the merged
-# result keeps the full schema and the gate still checks everything.
-# (`serving` already owns the serving_admission section, so
-# `admission` is folded into it when both are requested.)
+# admission, obs) to re-run a subset of the benches — e.g. `--only
+# serving` iterates on the 1M-request serving study without re-running
+# the solver suite, `--only admission` re-runs just the arrival-time
+# admission study (bench_serving --admission-only), and `--only obs`
+# re-runs just the tracing-overhead study (bench_serving --obs-only).
+# The sections not re-run are carried over from the committed
+# snapshot, so the merged result keeps the full schema and the gate
+# still checks everything. (`serving` already owns the
+# serving_admission and serving_obs sections, so `admission` and `obs`
+# are folded into it when both are requested.)
 #
-# Usage: tools/run_benchmarks.sh [--no-gate] [--only SECTIONS] [output.json]
+# Pass --trace-dir DIR to additionally export Chrome/Perfetto
+# trace-event JSON of representative runs (bench_serving --trace for
+# the faulty overload serving path, bench_fig6_multimodel --trace for
+# the re-planning scheduler with its planner track) into DIR; load
+# the files in ui.perfetto.dev. The exports ride alongside whatever
+# sections run — they don't participate in the snapshot merge.
+#
+# Usage: tools/run_benchmarks.sh [--no-gate] [--only SECTIONS]
+#        [--trace-dir DIR] [output.json]
 
 set -euo pipefail
 
@@ -54,17 +64,21 @@ fi
 
 gate=1
 only=""
+trace_dir=""
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --no-gate) gate=0; shift ;;
         --only) only="${2:?--only needs a section list}"; shift 2 ;;
         --only=*) only="${1#--only=}"; shift ;;
+        --trace-dir)
+            trace_dir="${2:?--trace-dir needs a directory}"; shift 2 ;;
+        --trace-dir=*) trace_dir="${1#--trace-dir=}"; shift ;;
         *) break ;;
     esac
 done
 out_json="${1:-${repo_root}/BENCH_table4.json}"
 
-run_solver=1; run_fig6=1; run_serving=1; run_admission=0
+run_solver=1; run_fig6=1; run_serving=1; run_admission=0; run_obs=0
 if [[ -n "${only}" ]]; then
     run_solver=0; run_fig6=0; run_serving=0
     IFS=',' read -ra sections <<< "${only}"
@@ -74,9 +88,10 @@ if [[ -n "${only}" ]]; then
             fig6)      run_fig6=1 ;;
             serving)   run_serving=1 ;;
             admission) run_admission=1 ;;
+            obs)       run_obs=1 ;;
             *) echo "error: unknown section '$s'" \
-                    "(expected solver, fig6, serving, admission)" \
-                    >&2; exit 2 ;;
+                    "(expected solver, fig6, serving, admission," \
+                    "obs)" >&2; exit 2 ;;
         esac
     done
     if [[ ! -f "${out_json}" ]]; then
@@ -85,19 +100,24 @@ if [[ -n "${only}" ]]; then
         exit 2
     fi
 fi
-# The full serving bench already emits serving_admission; running the
-# standalone fragment too would collide in the merge.
-[[ ${run_serving} -eq 1 ]] && run_admission=0
+# The full serving bench already emits serving_admission and
+# serving_obs; running the standalone fragments too would collide in
+# the merge.
+if [[ ${run_serving} -eq 1 ]]; then
+    run_admission=0
+    run_obs=0
+fi
 
 # Install the cleanup trap before the first mktemp so an early exit
 # (set -e between the mktemp calls, ctrl-C) cannot strand temp files.
 solver_json=""; fig6_json=""; serving_json=""
-admission_json=""; merged_json=""
+admission_json=""; obs_json=""; merged_json=""
 cleanup() {
     rm -f ${solver_json:+"${solver_json}"} \
           ${fig6_json:+"${fig6_json}"} \
           ${serving_json:+"${serving_json}"} \
           ${admission_json:+"${admission_json}"} \
+          ${obs_json:+"${obs_json}"} \
           ${merged_json:+"${merged_json}"}
 }
 trap cleanup EXIT
@@ -105,12 +125,15 @@ solver_json="$(mktemp /tmp/bench_table4.XXXXXX.json)"
 fig6_json="$(mktemp /tmp/bench_fig6.XXXXXX.json)"
 serving_json="$(mktemp /tmp/bench_serving.XXXXXX.json)"
 admission_json="$(mktemp /tmp/bench_admission.XXXXXX.json)"
+obs_json="$(mktemp /tmp/bench_obs.XXXXXX.json)"
 merged_json="$(mktemp /tmp/bench_merged.XXXXXX.json)"
 
 targets=()
 [[ ${run_solver} -eq 1 ]] && targets+=(bench_table4_solver_runtime)
-[[ ${run_fig6} -eq 1 ]] && targets+=(bench_fig6_multimodel)
-[[ ${run_serving} -eq 1 || ${run_admission} -eq 1 ]] &&
+[[ ${run_fig6} -eq 1 || -n "${trace_dir}" ]] &&
+    targets+=(bench_fig6_multimodel)
+[[ ${run_serving} -eq 1 || ${run_admission} -eq 1 ||
+   ${run_obs} -eq 1 || -n "${trace_dir}" ]] &&
     targets+=(bench_serving)
 
 cmake -B "${build_dir}" -S "${repo_root}" \
@@ -134,6 +157,20 @@ if [[ ${run_admission} -eq 1 ]]; then
     "${build_dir}/bench_serving" --admission-only \
         "${admission_json}" >/dev/null
     fresh+=("${admission_json}")
+fi
+if [[ ${run_obs} -eq 1 ]]; then
+    "${build_dir}/bench_serving" --obs-only "${obs_json}" >/dev/null
+    fresh+=("${obs_json}")
+fi
+
+if [[ -n "${trace_dir}" ]]; then
+    mkdir -p "${trace_dir}"
+    "${build_dir}/bench_serving" --trace \
+        "${trace_dir}/serving_trace.json"
+    "${build_dir}/bench_fig6_multimodel" --trace \
+        "${trace_dir}/fig6_trace.json"
+    echo "perfetto traces written to ${trace_dir}" \
+         "(load in ui.perfetto.dev)"
 fi
 
 if ! command -v python3 >/dev/null; then

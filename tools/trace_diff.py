@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare two FlashMem trace text files and pinpoint the first divergence.
+
+The obs::TraceRecorder text export is deterministic by contract: the
+same seed + config must produce a byte-identical stream, and the fast
+simulator and the real EventScheduler must produce identical
+Stream::Serving views. When that contract breaks, the interesting
+question is never "do the files differ" (diff answers that) but "what
+is the FIRST event where the two runs part ways" — everything after
+the first divergence is cascade noise.
+
+Usage:
+    trace_diff.py A.trace B.trace [--context N]
+
+Exit status: 0 when the traces are identical, 1 when they diverge,
+2 on usage errors (unreadable file). On divergence the report shows
+the first differing line number, the event from each file, and N
+lines of shared context before the split.
+"""
+
+import argparse
+import itertools
+import sys
+
+
+def read_lines(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return f.read().splitlines()
+    except OSError as e:
+        print(f"trace_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def first_divergence(a_lines, b_lines):
+    """Index of the first differing line, or None when identical.
+
+    A missing line (one trace is a strict prefix of the other) counts
+    as a divergence at the shorter trace's length.
+    """
+    for i, (a, b) in enumerate(
+            itertools.zip_longest(a_lines, b_lines)):
+        if a != b:
+            return i
+    return None
+
+
+def report(a_path, b_path, a_lines, b_lines, idx, context):
+    print(f"traces diverge at line {idx + 1}")
+    lo = max(0, idx - context)
+    if lo > 0:
+        print(f"  ... {lo} identical line(s) omitted ...")
+    for i in range(lo, idx):
+        print(f"  = {a_lines[i]}")
+    a_ev = a_lines[idx] if idx < len(a_lines) else "<end of trace>"
+    b_ev = b_lines[idx] if idx < len(b_lines) else "<end of trace>"
+    print(f"  A {a_path}: {a_ev}")
+    print(f"  B {b_path}: {b_ev}")
+    a_rest = max(0, len(a_lines) - idx - 1)
+    b_rest = max(0, len(b_lines) - idx - 1)
+    print(f"  ({a_rest} more line(s) in A, {b_rest} more in B "
+          "after the divergence)")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Report the first divergent event between two "
+                    "FlashMem trace text files.")
+    parser.add_argument("trace_a", help="first trace text file")
+    parser.add_argument("trace_b", help="second trace text file")
+    parser.add_argument(
+        "--context", type=int, default=3, metavar="N",
+        help="identical lines to show before the divergence "
+             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    a_lines = read_lines(args.trace_a)
+    b_lines = read_lines(args.trace_b)
+    idx = first_divergence(a_lines, b_lines)
+    if idx is None:
+        print(f"traces identical ({len(a_lines)} events)")
+        return 0
+    report(args.trace_a, args.trace_b, a_lines, b_lines, idx,
+           max(0, args.context))
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
