@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "solver/model.hh"
+#include "solver/symmetry.hh"
 
 namespace flashmem::core {
 
@@ -203,11 +204,12 @@ LcOpgPlanner::stageWindow(graph::NodeId start, graph::NodeId end,
     return in;
 }
 
-LcOpgPlanner::WindowOutput
-LcOpgPlanner::solveWindow(const WindowInput &in) const
+LcOpgPlanner::RoundModel
+LcOpgPlanner::buildWindowModel(const WindowInput &in, double relax,
+                               const std::vector<bool> &forced) const
 {
-    WindowOutput out;
-    WindowResult &result = out.result;
+    // FMLINT(allow:no-wall-clock) reported PlanStats timings only; plan content never reads the clock
+    auto build_t0 = std::chrono::steady_clock::now();
     const std::int64_t mpeak_chunks = static_cast<std::int64_t>(
         params_.mPeak / params_.chunkBytes);
 
@@ -216,247 +218,279 @@ LcOpgPlanner::solveWindow(const WindowInput &in) const
     const auto &greedy = in.greedy;
     const graph::NodeId end = in.end;
     const graph::NodeId min_cand = in.minCand;
-    if (weights.empty())
-        return out;
 
-    // Tier-3 guard: windows whose CP model would be degenerate or too
-    // large run on the greedy backup directly.
-    std::size_t var_estimate = 0;
-    for (const auto &c : cands)
-        var_estimate += c.size() + 2;
-    bool use_greedy = var_estimate > 2000;
+    RoundModel rm;
+    solver::CpModel &m = rm.model;
+    std::vector<solver::VarId> &y_vars = rm.y_vars;
+    std::vector<solver::VarId> &z_vars = rm.z_vars;
+    std::vector<std::vector<solver::VarId>> &x_vars = rm.x_vars;
+    std::vector<std::int64_t> &hint = rm.hint;
+    y_vars.resize(weights.size());
+    z_vars.assign(weights.size(), -1);
+    x_vars.resize(weights.size());
 
-    // Solver attempt with C4 fallback tiers.
-    std::vector<std::int64_t> &extracted_preload = out.preload;
-    std::vector<std::vector<std::pair<graph::NodeId, std::int64_t>>>
-        &extracted_assign = out.assign;
-    out.z.assign(weights.size(), graph::kInvalidNode);
-    std::vector<graph::NodeId> &extracted_z = out.z;
+    std::vector<solver::LinearTerm> objective;
+    for (std::size_t k = 0; k < weights.size(); ++k) {
+        const auto &w = g_.weight(weights[k]);
+        std::int64_t t_w = chunk_count_[weights[k]];
+        std::int64_t y_lo = forced[k] ? t_w : 0;
+        y_vars[k] = m.newIntVar(y_lo, t_w, w.name + ".preload");
+        hint.push_back(forced[k] ? t_w : greedy.preload[k]);
+        // lambda-weighted preload cost.
+        objective.push_back(
+            {y_vars[k], static_cast<std::int64_t>(
+                            params_.lambda * kObjScale)});
 
-    if (!use_greedy) {
-        double relax = 1.0;
-        std::vector<bool> forced(weights.size(), false);
-        for (int round = 0; round <= params_.maxFallbackRounds;
-             ++round) {
-            // FMLINT(allow:no-wall-clock) reported PlanStats timings only; plan content never reads the clock
-            auto build_t0 = std::chrono::steady_clock::now();
-            solver::CpModel m;
-            std::vector<solver::VarId> y_vars(weights.size());
-            std::vector<solver::VarId> z_vars(weights.size(), -1);
-            std::vector<std::vector<solver::VarId>> x_vars(
-                weights.size());
-            std::vector<std::int64_t> hint;
-
-            std::vector<solver::LinearTerm> objective;
-            for (std::size_t k = 0; k < weights.size(); ++k) {
-                const auto &w = g_.weight(weights[k]);
-                std::int64_t t_w = chunk_count_[weights[k]];
-                std::int64_t y_lo = forced[k] ? t_w : 0;
-                y_vars[k] = m.newIntVar(y_lo, t_w, w.name + ".preload");
-                hint.push_back(forced[k] ? t_w : greedy.preload[k]);
-                // lambda-weighted preload cost.
-                objective.push_back(
-                    {y_vars[k], static_cast<std::int64_t>(
-                                    params_.lambda * kObjScale)});
-
-                std::vector<solver::LinearTerm> coverage{{y_vars[k], 1}};
-                for (auto l : cands[k]) {
-                    std::int64_t cap = std::min<std::int64_t>(
-                        {t_w,
-                         static_cast<std::int64_t>(
-                             static_cast<double>(in.residual[l]) *
-                             relax),
-                         mpeak_chunks});
-                    auto x = m.newIntVar(0, std::max<std::int64_t>(cap,
-                                                                   0));
-                    x_vars[k].push_back(x);
-                    coverage.push_back({x, 1});
-                    // Tie-break: transform close to the consumer.
-                    objective.push_back({x, w.consumer - l - 1});
-                    std::int64_t hint_x = 0;
-                    if (!forced[k]) {
-                        for (auto &[gl, gc] : greedy.assignments[k]) {
-                            if (gl == l)
-                                hint_x = gc;
-                        }
-                    }
-                    hint.push_back(hint_x);
-                }
-                // C0: completeness of allocation.
-                m.addEquality(coverage, t_w);
-
-                // z_w and C1 implications (streamed weights only).
-                if (!cands[k].empty()) {
-                    graph::NodeId z_lo = std::max<graph::NodeId>(
-                        0, w.consumer - params_.maxLoadDistance);
-                    z_vars[k] =
-                        m.newIntVar(z_lo, w.consumer, w.name + ".z");
-                    // mu-weighted loading distance i_w - z_w.
-                    objective.push_back(
-                        {z_vars[k], -static_cast<std::int64_t>(
-                                        params_.mu * kObjScale)});
-                    for (std::size_t j = 0; j < cands[k].size(); ++j) {
-                        m.addImplicationGeLe(x_vars[k][j], 1, z_vars[k],
-                                             cands[k][j]);
-                    }
-                    graph::NodeId hint_z = w.consumer;
-                    if (!forced[k] && !greedy.assignments[k].empty()) {
-                        for (auto &[gl, gc] : greedy.assignments[k])
-                            hint_z = std::min(hint_z, gl);
-                    }
-                    hint.push_back(hint_z);
+        std::vector<solver::LinearTerm> coverage{{y_vars[k], 1}};
+        for (auto l : cands[k]) {
+            std::int64_t cap = std::min<std::int64_t>(
+                {t_w,
+                 static_cast<std::int64_t>(
+                     static_cast<double>(in.residual[l]) *
+                     relax),
+                 mpeak_chunks});
+            auto x = m.newIntVar(0, std::max<std::int64_t>(cap,
+                                                           0));
+            x_vars[k].push_back(x);
+            coverage.push_back({x, 1});
+            // Tie-break: transform close to the consumer.
+            objective.push_back({x, w.consumer - l - 1});
+            std::int64_t hint_x = 0;
+            if (!forced[k]) {
+                for (auto &[gl, gc] : greedy.assignments[k]) {
+                    if (gl == l)
+                        hint_x = gc;
                 }
             }
+            hint.push_back(hint_x);
+        }
+        // C0: completeness of allocation.
+        m.addEquality(coverage, t_w);
 
-            // C3: per-layer load capacity.
-            for (graph::NodeId l = min_cand; l < end && min_cand < end;
-                 ++l) {
-                std::vector<solver::LinearTerm> col;
-                for (std::size_t k = 0; k < weights.size(); ++k) {
-                    for (std::size_t j = 0; j < cands[k].size(); ++j) {
-                        if (cands[k][j] == l)
-                            col.push_back({x_vars[k][j], 1});
-                    }
-                }
-                if (!col.empty()) {
-                    m.addLessOrEqual(
-                        col, static_cast<std::int64_t>(
-                                 static_cast<double>(in.residual[l]) *
-                                 relax));
-                }
+        // z_w and C1 implications (streamed weights only).
+        if (!cands[k].empty()) {
+            graph::NodeId z_lo = std::max<graph::NodeId>(
+                0, w.consumer - params_.maxLoadDistance);
+            z_vars[k] =
+                m.newIntVar(z_lo, w.consumer, w.name + ".z");
+            // mu-weighted loading distance i_w - z_w.
+            objective.push_back(
+                {z_vars[k], -static_cast<std::int64_t>(
+                                params_.mu * kObjScale)});
+            for (std::size_t j = 0; j < cands[k].size(); ++j) {
+                m.addImplicationGeLe(x_vars[k][j], 1, z_vars[k],
+                                     cands[k][j]);
             }
-
-            // C2: in-flight transformed-but-unconsumed memory.
-            for (graph::NodeId p = min_cand; p < end && min_cand < end;
-                 ++p) {
-                std::vector<solver::LinearTerm> inflight;
-                for (std::size_t k = 0; k < weights.size(); ++k) {
-                    if (g_.weight(weights[k]).consumer <= p)
-                        continue;
-                    for (std::size_t j = 0; j < cands[k].size(); ++j) {
-                        if (cands[k][j] <= p)
-                            inflight.push_back({x_vars[k][j], 1});
-                    }
-                }
-                if (!inflight.empty()) {
-                    m.addLessOrEqual(inflight, std::max<std::int64_t>(
-                                                   mpeak_chunks -
-                                                       in.inflight[p],
-                                                   0));
-                }
+            graph::NodeId hint_z = w.consumer;
+            if (!forced[k] && !greedy.assignments[k].empty()) {
+                for (auto &[gl, gc] : greedy.assignments[k])
+                    hint_z = std::min(hint_z, gl);
             }
-
-            m.minimize(objective);
-            // FMLINT(allow:float-accumulation-order) per-window accumulator owned by this task; totals merge in submission order
-            result.buildSeconds += secondsSince(build_t0);
-
-            // Plan memo: a previously solved window with this exact
-            // model reuses its incumbent as the warm start, which is
-            // at least as good as the greedy hint. Validation guards
-            // against fingerprint collisions: an entry that does not
-            // satisfy this model is ignored, keeping the greedy hint.
-            // Lookups see only pre-plan() memo state (stores from this
-            // plan are buffered until the ordered merge), so window
-            // results cannot depend on solve completion order.
-            std::uint64_t fp = 0;
-            if (params_.planMemo) {
-                fp = m.fingerprint();
-                auto cached = memoRef().lookup(fp);
-                if (cached && m.satisfiedBy(*cached)) {
-                    hint = std::move(*cached);
-                    ++result.memoHits;
-                }
-            }
-
-            solver::SolverParams sp;
-            sp.timeLimitSeconds = params_.solverTimePerWindow;
-            sp.maxDecisions = params_.solverDecisionsPerWindow;
-            sp.engine = params_.solverEngine;
-            sp.restartConflictBase = params_.restartConflictBase;
-            auto r = solver::CpSolver(sp).solve(m, &hint);
-            // FMLINT(allow:float-accumulation-order) per-window accumulator owned by this task; totals merge in submission order
-            result.solveSeconds += r.wallSeconds;
-            result.decisions += r.decisions;
-            result.propagations += r.propagations;
-            result.conflicts += r.backtracks;
-            result.restarts += r.restarts;
-            result.status = r.status;
-
-            if (params_.planMemo && r.feasible())
-                out.memoStores.push_back({fp, r.values, r.objective});
-
-            if (!r.feasible()) {
-                // Tier 1: soft-threshold relaxation of C_l.
-                if (round < params_.maxFallbackRounds) {
-                    relax *= params_.softThresholdGrowth;
-                    ++result.softRelaxations;
-                    continue;
-                }
-                use_greedy = true;
-                break;
-            }
-
-            // Extract candidate solution.
-            extracted_preload.assign(weights.size(), 0);
-            extracted_assign.assign(weights.size(), {});
-            Bytes window_bytes = 0, preload_bytes = 0;
-            for (std::size_t k = 0; k < weights.size(); ++k) {
-                extracted_preload[k] = r.value(y_vars[k]);
-                window_bytes += g_.weight(weights[k]).bytes();
-                preload_bytes += slicer_.bytesForChunks(
-                    g_.weight(weights[k]), extracted_preload[k]);
-                for (std::size_t j = 0; j < cands[k].size(); ++j) {
-                    auto v = r.value(x_vars[k][j]);
-                    if (v > 0)
-                        extracted_assign[k].push_back({cands[k][j], v});
-                }
-                if (z_vars[k] >= 0 && !extracted_assign[k].empty())
-                    extracted_z[k] = static_cast<graph::NodeId>(
-                        r.value(z_vars[k]));
-            }
-
-            // Tier 2: if capacity pressure forced most of the window
-            // into W, pin the heaviest offender and re-solve so the
-            // solver redistributes the rest.
-            double preload_frac =
-                window_bytes
-                    ? static_cast<double>(preload_bytes) / window_bytes
-                    : 0.0;
-            if (preload_frac > 0.8 && round < params_.maxFallbackRounds) {
-                std::size_t worst = 0;
-                std::int64_t worst_chunks = -1;
-                for (std::size_t k = 0; k < weights.size(); ++k) {
-                    if (!forced[k] &&
-                        extracted_preload[k] > worst_chunks) {
-                        worst_chunks = extracted_preload[k];
-                        worst = k;
-                    }
-                }
-                if (worst_chunks > 0) {
-                    forced[worst] = true;
-                    ++result.forcedPreloads;
-                    continue;
-                }
-            }
-            break;
+            hint.push_back(hint_z);
         }
     }
 
-    if (use_greedy) {
-        result.usedGreedy = true;
-        extracted_preload = greedy.preload;
-        extracted_assign = greedy.assignments;
+    // C3: per-layer load capacity.
+    for (graph::NodeId l = min_cand; l < end && min_cand < end;
+         ++l) {
+        std::vector<solver::LinearTerm> col;
         for (std::size_t k = 0; k < weights.size(); ++k) {
-            graph::NodeId z = g_.weight(weights[k]).consumer;
-            for (auto &[l, c] : extracted_assign[k])
-                z = std::min(z, l);
-            extracted_z[k] = extracted_assign[k].empty()
-                                 ? graph::kInvalidNode
-                                 : z;
+            for (std::size_t j = 0; j < cands[k].size(); ++j) {
+                if (cands[k][j] == l)
+                    col.push_back({x_vars[k][j], 1});
+            }
         }
-        result.status = solver::SolveStatus::Feasible;
+        if (!col.empty()) {
+            m.addLessOrEqual(
+                col, static_cast<std::int64_t>(
+                         static_cast<double>(in.residual[l]) *
+                         relax));
+        }
     }
-    return out;
+
+    // C2: in-flight transformed-but-unconsumed memory.
+    for (graph::NodeId p = min_cand; p < end && min_cand < end;
+         ++p) {
+        std::vector<solver::LinearTerm> inflight;
+        for (std::size_t k = 0; k < weights.size(); ++k) {
+            if (g_.weight(weights[k]).consumer <= p)
+                continue;
+            for (std::size_t j = 0; j < cands[k].size(); ++j) {
+                if (cands[k][j] <= p)
+                    inflight.push_back({x_vars[k][j], 1});
+            }
+        }
+        if (!inflight.empty()) {
+            m.addLessOrEqual(inflight, std::max<std::int64_t>(
+                                           mpeak_chunks -
+                                               in.inflight[p],
+                                           0));
+        }
+    }
+
+    m.minimize(objective);
+
+    // Symmetry breaking: group verified-interchangeable weight blocks
+    // (y, x..., z) and chain them with leader-function orderings. Runs
+    // before the memo fingerprint so cached incumbents are keyed to —
+    // and therefore satisfy — the symmetry-broken model.
+    if (params_.symmetryBreaking) {
+        std::vector<solver::VarBlock> blocks(weights.size());
+        for (std::size_t k = 0; k < weights.size(); ++k) {
+            auto &b = blocks[k].vars;
+            b.reserve(2 + x_vars[k].size());
+            b.push_back(y_vars[k]);
+            b.insert(b.end(), x_vars[k].begin(), x_vars[k].end());
+            if (z_vars[k] >= 0)
+                b.push_back(z_vars[k]);
+        }
+        const auto groups = solver::groupInterchangeableBlocks(m, blocks);
+        if (!groups.empty()) {
+            rm.lexRows = solver::addSymmetryBreaking(m, blocks, groups);
+            solver::canonicalizeHint(m, blocks, groups, hint);
+        }
+    }
+
+    // Plan memo: a previously solved window with this exact model
+    // reuses its incumbent as the warm start, which is at least as
+    // good as the greedy hint. Validation guards against fingerprint
+    // collisions: an entry that does not satisfy this model is
+    // ignored, keeping the greedy hint. Lookups see only pre-plan()
+    // memo state (stores from this plan are buffered until the
+    // ordered merge), so window results cannot depend on solve
+    // completion order.
+    if (params_.planMemo) {
+        rm.fingerprint = m.fingerprint();
+        auto cached = memoRef().lookup(rm.fingerprint);
+        if (cached && m.satisfiedBy(*cached)) {
+            hint = std::move(*cached);
+            rm.memoHit = true;
+        }
+    }
+    rm.buildSeconds = secondsSince(build_t0);
+    return rm;
+}
+
+bool
+LcOpgPlanner::interpretRound(WindowSolveState &st,
+                             const solver::PortfolioResult &pr) const
+{
+    const WindowInput &in = *st.in;
+    WindowResult &result = st.out.result;
+    const bool portfolio = params_.portfolioConfigs > 1;
+    const solver::SolveResult &r = pr.result;
+
+    result.buildSeconds += st.rm.buildSeconds;
+    result.lexRows += st.rm.lexRows;
+    if (st.rm.memoHit)
+        ++result.memoHits;
+    result.solveSeconds += r.wallSeconds;
+    if (portfolio) {
+        // The raw totals below sum work across configurations, and a
+        // cancelled configuration stops at a timing-dependent point —
+        // so the summary counters (which feed solver_window trace
+        // events) take the winner's improvement snapshots instead:
+        // those freeze inside the winner's uninterfered prefix and
+        // are byte-deterministic for any pool size.
+        result.decisions += r.improveDecisions;
+        result.propagations += r.improvePropagations;
+        result.conflicts += r.improveBacktracks;
+        result.restarts += r.improveRestarts;
+    } else {
+        result.decisions += r.decisions;
+        result.propagations += r.propagations;
+        result.conflicts += r.backtracks;
+        result.restarts += r.restarts;
+    }
+    result.status = r.status;
+    result.winningConfig = pr.winningConfig;
+    if (result.configConflicts.size() < pr.outcomes.size())
+        result.configConflicts.resize(pr.outcomes.size(), 0);
+    for (const auto &o : pr.outcomes)
+        result.configConflicts[o.config] += o.result.backtracks;
+
+    // The merged (winner's) incumbent seeds the memo, so warm starts
+    // inherit portfolio wins.
+    if (params_.planMemo && r.feasible())
+        st.out.memoStores.push_back(
+            {st.rm.fingerprint, r.values, r.objective});
+
+    if (!r.feasible()) {
+        // Tier 1: soft-threshold relaxation of C_l.
+        if (st.round < params_.maxFallbackRounds) {
+            st.relax *= params_.softThresholdGrowth;
+            ++result.softRelaxations;
+            ++st.round;
+            return false;
+        }
+        applyGreedy(in, st.out);
+        return true;
+    }
+
+    // Extract candidate solution.
+    const auto &weights = in.weights;
+    auto &extracted_preload = st.out.preload;
+    auto &extracted_assign = st.out.assign;
+    auto &extracted_z = st.out.z;
+    extracted_preload.assign(weights.size(), 0);
+    extracted_assign.assign(weights.size(), {});
+    Bytes window_bytes = 0, preload_bytes = 0;
+    for (std::size_t k = 0; k < weights.size(); ++k) {
+        extracted_preload[k] = r.value(st.rm.y_vars[k]);
+        window_bytes += g_.weight(weights[k]).bytes();
+        preload_bytes += slicer_.bytesForChunks(g_.weight(weights[k]),
+                                                extracted_preload[k]);
+        for (std::size_t j = 0; j < in.cands[k].size(); ++j) {
+            auto v = r.value(st.rm.x_vars[k][j]);
+            if (v > 0)
+                extracted_assign[k].push_back({in.cands[k][j], v});
+        }
+        if (st.rm.z_vars[k] >= 0 && !extracted_assign[k].empty())
+            extracted_z[k] = static_cast<graph::NodeId>(
+                r.value(st.rm.z_vars[k]));
+    }
+
+    // Tier 2: if capacity pressure forced most of the window into W,
+    // pin the heaviest offender and re-solve so the solver
+    // redistributes the rest.
+    double preload_frac =
+        window_bytes ? static_cast<double>(preload_bytes) / window_bytes
+                     : 0.0;
+    if (preload_frac > 0.8 && st.round < params_.maxFallbackRounds) {
+        std::size_t worst = 0;
+        std::int64_t worst_chunks = -1;
+        for (std::size_t k = 0; k < weights.size(); ++k) {
+            if (!st.forced[k] && extracted_preload[k] > worst_chunks) {
+                worst_chunks = extracted_preload[k];
+                worst = k;
+            }
+        }
+        if (worst_chunks > 0) {
+            st.forced[worst] = true;
+            ++result.forcedPreloads;
+            ++st.round;
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+LcOpgPlanner::applyGreedy(const WindowInput &in, WindowOutput &out) const
+{
+    out.result.usedGreedy = true;
+    out.preload = in.greedy.preload;
+    out.assign = in.greedy.assignments;
+    if (out.z.size() != in.weights.size())
+        out.z.assign(in.weights.size(), graph::kInvalidNode);
+    for (std::size_t k = 0; k < in.weights.size(); ++k) {
+        graph::NodeId z = g_.weight(in.weights[k]).consumer;
+        for (auto &[l, c] : out.assign[k])
+            z = std::min(z, l);
+        out.z[k] =
+            out.assign[k].empty() ? graph::kInvalidNode : z;
+    }
+    out.result.status = solver::SolveStatus::Feasible;
 }
 
 void
@@ -617,9 +651,13 @@ LcOpgPlanner::plan(PlanStats *stats)
     }
     local.stageSeconds = secondsSince(stage_t0);
 
-    // Phase 2 — solve: windows run concurrently; futures are consumed
-    // in submission (window) order, so downstream phases never observe
-    // completion order.
+    // Phase 2 — solve: flattened (window x config) solve tasks run
+    // concurrently on one pool; the main thread drives each window's
+    // fallback-round state machine and consumes results in submission
+    // (window) order, so downstream phases never observe completion
+    // order. With portfolioConfigs > 1, each round races K solver
+    // configurations over the same model (solver/portfolio.hh); the
+    // merged result is byte-identical for any thread count.
     const int threads =
         params_.parallel.threads > 0
             ? params_.parallel.threads
@@ -627,18 +665,69 @@ LcOpgPlanner::plan(PlanStats *stats)
     local.threads = threads;
     // FMLINT(allow:no-wall-clock) reported PlanStats timings only; plan content never reads the clock
     auto solve_t0 = std::chrono::steady_clock::now();
+    const int configs = std::max(1, params_.portfolioConfigs);
     std::vector<WindowOutput> outputs;
     outputs.reserve(inputs.size());
     {
         ThreadPool pool(threads);
-        std::vector<std::future<WindowOutput>> futures;
-        futures.reserve(inputs.size());
-        for (const auto &in : inputs) {
-            futures.push_back(
-                pool.submit([this, &in]() { return solveWindow(in); }));
+        std::vector<WindowSolveState> states(inputs.size());
+        solver::SolverParams sp;
+        sp.timeLimitSeconds = params_.solverTimePerWindow;
+        sp.maxDecisions = params_.solverDecisionsPerWindow;
+        sp.engine = params_.solverEngine;
+        sp.restartConflictBase = params_.restartConflictBase;
+        auto submitRound = [&](WindowSolveState &st) {
+            st.rm = buildWindowModel(*st.in, st.relax, st.forced);
+            // Fresh board per round: fallback rounds solve a different
+            // model, so a previous round's proven bound must not leak.
+            if (configs > 1)
+                st.board = std::make_unique<solver::PortfolioBoard>();
+            st.futures.clear();
+            for (int k = 0; k < configs; ++k) {
+                st.futures.push_back(pool.submit([&st, sp, k]() {
+                    return solver::solvePortfolioConfig(
+                        st.rm.model, sp, k, st.board.get(), &st.rm.hint);
+                }));
+            }
+        };
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            WindowSolveState &st = states[i];
+            st.in = &inputs[i];
+            const auto &in = inputs[i];
+            if (in.weights.empty()) {
+                st.done = true;
+                continue;
+            }
+            st.forced.assign(in.weights.size(), false);
+            st.out.z.assign(in.weights.size(), graph::kInvalidNode);
+            // Tier 3 guard: skip the solver outright for degenerate
+            // over-wide windows (solver cost grows superlinearly).
+            std::size_t var_estimate = 0;
+            for (const auto &c : in.cands)
+                var_estimate += c.size() + 2;
+            if (var_estimate > 2000) {
+                applyGreedy(in, st.out);
+                st.done = true;
+                continue;
+            }
+            submitRound(st);
         }
-        for (auto &f : futures)
-            outputs.push_back(f.get());
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            WindowSolveState &st = states[i];
+            while (!st.done) {
+                std::vector<solver::PortfolioOutcome> outcomes;
+                outcomes.reserve(st.futures.size());
+                for (auto &f : st.futures)
+                    outcomes.push_back(f.get());
+                st.futures.clear();
+                if (interpretRound(
+                        st, solver::mergePortfolio(std::move(outcomes))))
+                    st.done = true;
+                else
+                    submitRound(st);
+            }
+            outputs.push_back(std::move(st.out));
+        }
     }
     local.solveSeconds = secondsSince(solve_t0);
 
@@ -657,10 +746,19 @@ LcOpgPlanner::plan(PlanStats *stats)
     local.windowSummaries.reserve(outputs.size());
     for (const auto &out : outputs) {
         const auto &wr = out.result;
-        local.windowSummaries.push_back(
-            {local.windows, wr.status, wr.usedGreedy, wr.decisions,
-             wr.propagations, wr.conflicts, wr.restarts});
+        PlanStats::WindowSolveSummary s;
+        s.window = local.windows;
+        s.status = wr.status;
+        s.usedGreedy = wr.usedGreedy;
+        s.decisions = wr.decisions;
+        s.propagations = wr.propagations;
+        s.conflicts = wr.conflicts;
+        s.restarts = wr.restarts;
+        s.winningConfig = wr.winningConfig;
+        s.configConflicts = wr.configConflicts;
+        local.windowSummaries.push_back(std::move(s));
         ++local.windows;
+        local.symmetryRows += wr.lexRows;
         local.buildModelSeconds += wr.buildSeconds;
         local.solveCpuSeconds += wr.solveSeconds;
         local.solverDecisions += wr.decisions;

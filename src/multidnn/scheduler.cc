@@ -380,7 +380,8 @@ EventScheduler::run(const std::vector<ModelRequest> &queue,
                                 w.status ==
                                     solver::SolveStatus::Optimal
                             ? 1
-                            : 0);
+                            : 0,
+                        static_cast<std::int32_t>(w.winningConfig));
             }
             core::RunResult r;
             if (!cluster.overlap() && !faulty) {

@@ -1,0 +1,242 @@
+#include "solver/symmetry.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace flashmem::solver {
+
+namespace {
+
+/**
+ * Weight cap for the leader function. Positional weights are the
+ * running product of the later positions' domain sizes (true lex
+ * order) until the product would pass this cap; from there every
+ * weight saturates. Chosen so |f| stays far below int64 overflow for
+ * any realistic block (cap * positions * domain span << 2^63).
+ */
+constexpr std::int64_t kWeightCap = 1'000'000;
+
+/**
+ * Canonical flat encoding of one constraint under a variable
+ * renaming: [coef-sorted (var, coef) pairs..., lo, hi]. Term order
+ * inside a row is irrelevant to its meaning, so terms are sorted
+ * after renaming to make the encoding comparison-stable.
+ */
+std::vector<std::int64_t>
+encodeConstraint(const LinearConstraint &c, const std::vector<VarId> &perm)
+{
+    std::vector<std::pair<VarId, std::int64_t>> terms;
+    terms.reserve(c.terms.size());
+    for (const LinearTerm &t : c.terms)
+        terms.emplace_back(perm[t.var], t.coef);
+    std::sort(terms.begin(), terms.end());
+    std::vector<std::int64_t> flat;
+    flat.reserve(2 * terms.size() + 2);
+    for (const auto &[var, coef] : terms) {
+        flat.push_back(var);
+        flat.push_back(coef);
+    }
+    flat.push_back(c.lo);
+    flat.push_back(c.hi);
+    return flat;
+}
+
+std::vector<std::int64_t> encodeImplication(const Implication &imp,
+                                            const std::vector<VarId> &perm)
+{
+    return {perm[imp.x], imp.xThreshold, perm[imp.y], imp.yBound};
+}
+
+/** Leader-function weights for one block (see addSymmetryBreaking). */
+std::vector<std::int64_t> leaderWeights(const CpModel &model,
+                                        const VarBlock &block)
+{
+    const int n = static_cast<int>(block.vars.size());
+    std::vector<std::int64_t> w(n, 1);
+    for (int i = n - 2; i >= 0; --i) {
+        const VarId next = block.vars[i + 1];
+        const std::int64_t span =
+            model.upperBound(next) - model.lowerBound(next) + 1;
+        if (span <= 0 || span > kWeightCap || w[i + 1] > kWeightCap / span)
+            w[i] = kWeightCap;
+        else
+            w[i] = std::min(w[i + 1] * span, kWeightCap);
+    }
+    return w;
+}
+
+std::int64_t leaderValue(const VarBlock &block,
+                         const std::vector<std::int64_t> &weights,
+                         const std::vector<std::int64_t> &values)
+{
+    std::int64_t f = 0;
+    for (std::size_t i = 0; i < block.vars.size(); ++i)
+        f += weights[i] * values[block.vars[i]];
+    return f;
+}
+
+} // namespace
+
+bool blocksInterchangeable(const CpModel &model, const VarBlock &a,
+                           const VarBlock &b)
+{
+    if (a.vars.size() != b.vars.size() || a.vars.empty())
+        return false;
+
+    // Build the transposition; bail out on overlap (a shared variable
+    // has no well-defined swap image).
+    std::vector<VarId> perm(model.varCount());
+    for (std::size_t v = 0; v < perm.size(); ++v)
+        perm[v] = static_cast<VarId>(v);
+    for (std::size_t i = 0; i < a.vars.size(); ++i) {
+        const VarId av = a.vars[i];
+        const VarId bv = b.vars[i];
+        if (av == bv || perm[av] != av || perm[bv] != bv)
+            return false;
+        perm[av] = bv;
+        perm[bv] = av;
+    }
+
+    // Per-position domains must match or the swap is not a bijection
+    // on assignments.
+    for (std::size_t i = 0; i < a.vars.size(); ++i) {
+        if (model.lowerBound(a.vars[i]) != model.lowerBound(b.vars[i]) ||
+            model.upperBound(a.vars[i]) != model.upperBound(b.vars[i]))
+            return false;
+    }
+
+    // The objective must be invariant: equal coefficient per position
+    // (variables outside the blocks are fixed points of the swap).
+    std::vector<std::int64_t> obj(model.varCount(), 0);
+    for (const LinearTerm &t : model.objective())
+        obj[t.var] += t.coef;
+    for (std::size_t i = 0; i < a.vars.size(); ++i)
+        if (obj[a.vars[i]] != obj[b.vars[i]])
+            return false;
+
+    // Constraint system invariance: the multiset of rows must be
+    // unchanged by the renaming. Exact comparison (sorted canonical
+    // encodings), so a "symmetric" verdict is a proof, not a guess.
+    const auto identity = [&](auto encode, const auto &rows) {
+        std::vector<std::vector<std::int64_t>> out;
+        out.reserve(rows.size());
+        for (const auto &row : rows)
+            out.push_back(encode(row, perm));
+        std::sort(out.begin(), out.end());
+        return out;
+    };
+    std::vector<VarId> id(model.varCount());
+    for (std::size_t v = 0; v < id.size(); ++v)
+        id[v] = static_cast<VarId>(v);
+    const auto plain = [&](auto encode, const auto &rows) {
+        std::vector<std::vector<std::int64_t>> out;
+        out.reserve(rows.size());
+        for (const auto &row : rows)
+            out.push_back(encode(row, id));
+        std::sort(out.begin(), out.end());
+        return out;
+    };
+    const auto encC = [](const LinearConstraint &c,
+                         const std::vector<VarId> &p) {
+        return encodeConstraint(c, p);
+    };
+    const auto encI = [](const Implication &i, const std::vector<VarId> &p) {
+        return encodeImplication(i, p);
+    };
+    if (identity(encC, model.constraints()) !=
+        plain(encC, model.constraints()))
+        return false;
+    if (identity(encI, model.implications()) !=
+        plain(encI, model.implications()))
+        return false;
+    return true;
+}
+
+std::vector<std::vector<int>>
+groupInterchangeableBlocks(const CpModel &model,
+                           const std::vector<VarBlock> &blocks)
+{
+    std::vector<std::vector<int>> chains;
+    for (int i = 0; i < static_cast<int>(blocks.size()); ++i) {
+        bool placed = false;
+        for (auto &chain : chains) {
+            if (blocksInterchangeable(model, blocks[chain.back()],
+                                      blocks[i])) {
+                chain.push_back(i);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            chains.push_back({i});
+    }
+    std::vector<std::vector<int>> groups;
+    for (auto &chain : chains)
+        if (chain.size() >= 2)
+            groups.push_back(std::move(chain));
+    return groups;
+}
+
+int addSymmetryBreaking(CpModel &model, const std::vector<VarBlock> &blocks,
+                        const std::vector<std::vector<int>> &groups)
+{
+    int rows = 0;
+    for (const auto &group : groups) {
+        // Per-position domains are equal across the group, so one
+        // weight vector serves every member.
+        const std::vector<std::int64_t> w =
+            leaderWeights(model, blocks[group.front()]);
+        for (std::size_t k = 0; k + 1 < group.size(); ++k) {
+            const VarBlock &lead = blocks[group[k]];
+            const VarBlock &follow = blocks[group[k + 1]];
+            std::vector<LinearTerm> terms;
+            terms.reserve(2 * lead.vars.size());
+            for (std::size_t i = 0; i < lead.vars.size(); ++i) {
+                terms.push_back({lead.vars[i], w[i]});
+                terms.push_back({follow.vars[i], -w[i]});
+            }
+            model.addLessOrEqual(std::move(terms), 0);
+            ++rows;
+        }
+    }
+    return rows;
+}
+
+void canonicalizeHint(const CpModel &model,
+                      const std::vector<VarBlock> &blocks,
+                      const std::vector<std::vector<int>> &groups,
+                      std::vector<std::int64_t> &hint)
+{
+    if (hint.size() != model.varCount())
+        return;
+    for (const auto &group : groups) {
+        const std::vector<std::int64_t> w =
+            leaderWeights(model, blocks[group.front()]);
+        std::vector<std::pair<std::int64_t, int>> order;
+        order.reserve(group.size());
+        for (int idx : group)
+            order.emplace_back(leaderValue(blocks[idx], w, hint), idx);
+        std::stable_sort(order.begin(), order.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first < b.first;
+                         });
+        // Slot k of the group receives the value tuple of the k-th
+        // smallest-f member; copy out first so swaps don't alias.
+        std::vector<std::vector<std::int64_t>> tuples;
+        tuples.reserve(group.size());
+        for (const auto &[f, idx] : order) {
+            std::vector<std::int64_t> tuple;
+            tuple.reserve(blocks[idx].vars.size());
+            for (VarId v : blocks[idx].vars)
+                tuple.push_back(hint[v]);
+            tuples.push_back(std::move(tuple));
+        }
+        for (std::size_t k = 0; k < group.size(); ++k) {
+            const VarBlock &target = blocks[group[k]];
+            for (std::size_t i = 0; i < target.vars.size(); ++i)
+                hint[target.vars[i]] = tuples[k][i];
+        }
+    }
+}
+
+} // namespace flashmem::solver

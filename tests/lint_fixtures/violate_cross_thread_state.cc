@@ -1,0 +1,34 @@
+// Fixture: cross-thread-state must flag ad-hoc lock-free shared
+// state (std::atomic, atomic_* typedefs, volatile) and nothing else.
+// Compiled never, linted always (tests/test_flashmem_lint.py).
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace fixture {
+
+// VIOLATION: a bare atomic counter observed in scheduling order —
+// exactly how thread-count dependence leaks into results.
+std::atomic<std::uint64_t> raceCounter{0};
+
+// VIOLATION: the C-style typedef is the same pattern.
+std::atomic_flag spin = ATOMIC_FLAG_INIT;
+
+// VIOLATION: volatile is not a synchronization primitive at all.
+volatile int mailbox = 0;
+
+// OK: mutex-guarded state merged in a deterministic order is the
+// approved cross-thread pattern and must not be flagged.
+struct Guarded {
+    std::mutex mu;
+    std::uint64_t count = 0;
+    void
+    bump()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ++count;
+    }
+};
+
+} // namespace fixture

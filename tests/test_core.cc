@@ -859,6 +859,7 @@ TEST(PlanMemo, ConcurrentHammer)
     PlanMemo memo(32); // small: forces LRU eviction under contention
     constexpr int kThreads = 8;
     constexpr int kOpsPerThread = 4000;
+    // FMLINT(allow:cross-thread-state) test-only failure latch: writers only ever increment, final zero-check is order-independent
     std::atomic<std::uint64_t> corrupt{0};
 
     std::vector<std::thread> workers;

@@ -44,6 +44,7 @@ class ViolationFires(unittest.TestCase):
         "violate_float_accumulation.cc":
             ("float-accumulation-order", 1),
         "violate_raw_cast.cc": ("no-raw-cast", 2),
+        "violate_cross_thread_state.cc": ("cross-thread-state", 3),
     }
 
     def test_each_check_fires(self):
@@ -116,7 +117,8 @@ class CliBehaviour(unittest.TestCase):
         self.assertEqual(rc, 0)
         for check in ("no-unordered-iteration", "no-wall-clock",
                       "no-pointer-order", "uninitialized-member",
-                      "float-accumulation-order", "no-raw-cast"):
+                      "float-accumulation-order", "no-raw-cast",
+                      "cross-thread-state"):
             self.assertIn(check, out)
 
     def test_check_subset_filters(self):

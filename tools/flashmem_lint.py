@@ -37,6 +37,17 @@ Checks (see tools/README.md for the full catalog):
                            punning bakes byte-order and alignment
                            assumptions into serialized plan bytes; use
                            std::memcpy through a char buffer instead.
+  cross-thread-state       ad-hoc lock-free shared state: std::atomic /
+                           atomic_* / volatile declarations.  Bare
+                           atomics are how scheduling order leaks into
+                           results; the approved patterns are
+                           mutex-guarded structures merged in
+                           deterministic order, or a named suppression
+                           carrying a written safety argument (the
+                           portfolio cancellation board in
+                           src/solver/portfolio.hh is the canonical
+                           sanctioned instance: its atomics broadcast
+                           only monotone, order-independent facts).
   bad-suppression          an FMLINT annotation with an empty or missing
                            justification (always fatal; the suppression
                            policy itself is machine-enforced).
@@ -79,6 +90,7 @@ CHECK_NAMES = [
     "uninitialized-member",
     "float-accumulation-order",
     "no-raw-cast",
+    "cross-thread-state",
 ]
 
 # Multi-character punctuators, longest first so the lexer is greedy.
@@ -992,12 +1004,66 @@ def check_raw_cast(unit, symbols, findings):
                 "(type punning) or fix constness at the declaration"))
 
 
+ATOMIC_TYPEDEFS = {
+    "atomic_bool", "atomic_char", "atomic_schar", "atomic_uchar",
+    "atomic_short", "atomic_ushort", "atomic_int", "atomic_uint",
+    "atomic_long", "atomic_ulong", "atomic_llong", "atomic_ullong",
+    "atomic_size_t", "atomic_ptrdiff_t",
+    "atomic_intptr_t", "atomic_uintptr_t",
+    "atomic_int8_t", "atomic_uint8_t", "atomic_int16_t",
+    "atomic_uint16_t", "atomic_int32_t", "atomic_uint32_t",
+    "atomic_int64_t", "atomic_uint64_t", "atomic_flag",
+}
+
+
+def check_cross_thread_state(unit, symbols, findings):
+    """Ad-hoc lock-free shared state: std::atomic / volatile.
+
+    Mutex-guarded state consumed in a deterministic (submission) order
+    is the repo's approved cross-thread pattern — common/thread_pool
+    plus ordered future consumption.  A bare atomic bypasses that
+    discipline: whatever it carries is observed in scheduling order,
+    which is exactly how thread-count dependence leaks into plans.  An
+    atomic is only sound here when every write is a monotone,
+    order-independent broadcast (racing writers all publish the same
+    fact), and that argument must be written down — the suppression
+    justification is where it lives.  The portfolio cancellation board
+    (src/solver/portfolio.hh) is the canonical sanctioned instance.
+    """
+    del symbols
+    toks = unit.tokens
+    seen_lines = set()
+    for i, t in enumerate(toks):
+        if t.kind != "id":
+            continue
+        hit = None
+        if t.text == "atomic":
+            nxt = toks[i + 1] if i + 1 < len(toks) else None
+            if nxt and nxt.text == "<":
+                hit = "std::atomic<...>"
+        elif t.text in ATOMIC_TYPEDEFS:
+            hit = f"std::{t.text}"
+        elif t.text == "volatile":
+            hit = "volatile"
+        if hit and t.line not in seen_lines:
+            seen_lines.add(t.line)
+            findings.append(Finding(
+                unit.path, t.line, "cross-thread-state",
+                f"'{hit}' is ad-hoc lock-free cross-thread state; "
+                "scheduling order can leak into results — use "
+                "mutex-guarded state merged in deterministic order, "
+                "or suppress with a written safety argument (every "
+                "write must be a monotone, order-independent "
+                "broadcast)"))
+
+
 BUILTIN_CHECKS = {
     "no-unordered-iteration": check_unordered_iteration,
     "no-pointer-order": check_pointer_order,
     "uninitialized-member": check_uninitialized_member,
     "float-accumulation-order": check_float_accumulation,
     "no-raw-cast": check_raw_cast,
+    "cross-thread-state": check_cross_thread_state,
 }
 
 
